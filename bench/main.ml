@@ -1,0 +1,116 @@
+(* The measurement campaign of §5: every figure and table, the ablation and
+   discussion studies (see Castan.Harness for the registry), and a Bechamel
+   micro-benchmark per table.
+
+     dune exec bench/main.exe                 -- everything (default scale)
+     dune exec bench/main.exe -- -e fig4      -- one experiment
+     dune exec bench/main.exe -- --quick      -- scaled-down smoke run
+     dune exec bench/main.exe -- --full       -- paper-scale workloads
+     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks *)
+
+let experiment_config = ref Castan.Experiment.default_config
+let selected : string list ref = ref []
+let run_micro = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the inner operation behind each table     *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let geom = Cache.Geometry.xeon_e5_2667v2 in
+  (* tables 1-3 hinge on DUT packet processing and the cache simulator *)
+  let dut = Testbed.Dut.create (Nf.Registry.find "lpm-btrie") in
+  let rng = Util.Rng.create 3 in
+  let pkt = Testbed.Traffic.random_packet rng in
+  let hier = Cache.Hierarchy.create geom in
+  let counter = ref 0 in
+  (* table 4 hinges on symbolic stepping + solving *)
+  let sat_instance =
+    let dst : Ir.Expr.sexpr = Leaf (Ir.Expr.Pkt { pkt = 0; field = Dst_ip }) in
+    [
+      Ir.Expr.Cmp (Eq, Binop (Rem, dst, Const 4096), Const 77);
+      Ir.Expr.Cmp (Lt, Const 1000, dst);
+    ]
+  in
+  [
+    Test.make ~name:"table1-3:dut-process-lpm-btrie"
+      (Staged.stage (fun () -> ignore (Testbed.Dut.process dut pkt)));
+    Test.make ~name:"table1-3:cache-hierarchy-access"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Cache.Hierarchy.access hier (!counter * 8192 land 0xFFFFFFF))));
+    Test.make ~name:"table4:solver-sat"
+      (Staged.stage (fun () -> ignore (Solver.Solve.sat sat_instance)));
+    Test.make ~name:"table4:hash-flow16"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Hashrev.Hashes.flow16.apply !counter)));
+    Test.make ~name:"table5:zipf-sample"
+      (let z = Util.Zipf.create ~s:1.26 ~n:6674 in
+       let zr = Util.Rng.create 4 in
+       Staged.stage (fun () -> ignore (Util.Zipf.sample z zr)));
+  ]
+
+let run_micro_benchmarks () =
+  let open Bechamel in
+  Printf.printf "\n== micro-benchmarks (Bechamel) ==\n";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances
+          (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-40s %10.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "-e" :: id :: rest ->
+        selected := !selected @ [ id ];
+        parse rest
+    | "--quick" :: rest ->
+        experiment_config := Castan.Experiment.quick_config;
+        parse rest
+    | "--full" :: rest ->
+        experiment_config :=
+          { !experiment_config with scale = `Paper; samples = 40_000 };
+        parse rest
+    | "--micro" :: rest ->
+        run_micro := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\nknown experiments: %s\n" arg
+          (String.concat ", " Castan.Harness.ids);
+        exit 2
+  in
+  parse args;
+  let ids = if !selected = [] then Castan.Harness.ids else !selected in
+  if !run_micro then run_micro_benchmarks ()
+  else begin
+    Printf.printf "CASTAN evaluation harness (%s scale)\n%!"
+      (match !experiment_config.scale with
+      | `Quick -> "quick"
+      | `Default -> "default"
+      | `Paper -> "paper");
+    List.iter (Castan.Harness.run_id !experiment_config) ids
+  end

@@ -1,0 +1,253 @@
+(* The castan command-line tool.
+
+   Subcommands mirror the workflow of the paper's artifact:
+     castan list                      -- the 11 evaluation NFs
+     castan analyze <nf> -o out.pcap  -- synthesize an adversarial workload
+     castan probe-cache               -- reverse-engineer contention sets
+     castan replay <nf> <pcap>        -- measure a workload on the testbed
+     castan experiment <id>           -- regenerate a table/figure *)
+
+open Cmdliner
+
+let nf_arg =
+  let doc = "Network function name (see `castan list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let nf = Nf.Registry.find name in
+        Printf.printf "%-22s %s\n" name nf.Nf.Nf_def.descr)
+      Nf.Registry.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluation network functions")
+    Term.(const run $ const ())
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the synthesized workload as a PCAP file.")
+  in
+  let packets =
+    Arg.(value & opt (some int) None & info [ "n"; "packets" ] ~docv:"N"
+           ~doc:"Number of packets to synthesize (default: the paper's size).")
+  in
+  let budget =
+    Arg.(value & opt float 20.0 & info [ "t"; "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Symbolic-execution time budget.")
+  in
+  let no_contention =
+    Arg.(value & flag & info [ "no-cache-model" ]
+           ~doc:"Skip contention-set discovery (baseline cache model).")
+  in
+  let cache_model_file =
+    Arg.(value & opt (some string) None & info [ "cache-model" ] ~docv:"FILE"
+           ~doc:"Load contention sets saved by `probe-cache -o' instead of                  re-discovering them.")
+  in
+  let ktest =
+    Arg.(value & opt (some string) None & info [ "ktest" ] ~docv:"PREFIX"
+           ~doc:"Also write PREFIX.ktest and PREFIX.metrics (the analysis \
+                 outputs of the paper's §4).")
+  in
+  let run name output packets budget no_contention cache_model_file ktest =
+    let nf = Nf.Registry.find name in
+    let cache =
+      match cache_model_file with
+      | Some path -> Castan.Analyze.Contention_sets (Cache.Contention.load path)
+      | None ->
+          if no_contention then Castan.Analyze.Baseline
+          else
+            Castan.Analyze.Contention_sets
+              (Castan.Analyze.discover_contention_sets ())
+    in
+    let config =
+      {
+        (Castan.Analyze.default_config ~cache ()) with
+        n_packets = packets;
+        time_budget = budget;
+      }
+    in
+    let o = Castan.Analyze.run ~config nf in
+    Printf.printf
+      "%s: %d packets, predicted %d cycles total, %d/%d havocs reconciled, \
+       %d states explored in %.1fs\n"
+      name
+      (Testbed.Workload.length o.Castan.Analyze.workload)
+      o.Castan.Analyze.predicted_cost o.Castan.Analyze.reconciled
+      o.Castan.Analyze.n_havocs o.Castan.Analyze.stats.Symbex.Driver.explored
+      o.Castan.Analyze.analysis_time;
+    List.iteri
+      (fun k (m : Symbex.State.metrics) ->
+        Printf.printf "  pkt %2d predicted: %s\n" k
+          (Format.asprintf "%a" Symbex.State.pp_metrics m))
+      o.Castan.Analyze.predicted;
+    Array.iter
+      (fun p -> Printf.printf "  %s\n" (Nf.Packet.to_string p))
+      o.Castan.Analyze.workload.Testbed.Workload.packets;
+    (match output with
+    | Some path ->
+        Testbed.Workload.save_pcap o.Castan.Analyze.workload path;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match ktest with
+    | Some prefix ->
+        List.iter (Printf.printf "wrote %s\n") (Castan.Ktest.write ~prefix o)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Synthesize an adversarial workload for an NF")
+    Term.(
+      const run $ nf_arg $ output $ packets $ budget $ no_contention
+      $ cache_model_file $ ktest)
+
+(* ---------------- probe-cache ---------------- *)
+
+let probe_cmd =
+  let pool =
+    Arg.(value & opt int 256 & info [ "pool" ] ~docv:"N"
+           ~doc:"Candidate addresses per 1GB page.")
+  in
+  let pages =
+    Arg.(value & opt int 2 & info [ "pages" ] ~docv:"N" ~doc:"1GB pages probed.")
+  in
+  let reboots =
+    Arg.(value & opt int 2 & info [ "reboots" ] ~docv:"N"
+           ~doc:"Simulated reboots (fresh page placements).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Persist the sets for later `analyze --cache-model FILE' runs.")
+  in
+  let run pool pages reboots output =
+    let t0 = Unix.gettimeofday () in
+    let sets =
+      Castan.Analyze.discover_contention_sets ~pool ~pages ~reboots ()
+    in
+    Printf.printf "discovered %d consistent contention sets in %.1fs\n"
+      sets.Cache.Contention.n_classes
+      (Unix.gettimeofday () -. t0);
+    (match output with
+    | Some path ->
+        Cache.Contention.save sets path;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    List.iter
+      (fun (cls, members) ->
+        Printf.printf "  set %2d: %d members, first offsets %s\n" cls
+          (List.length members)
+          (String.concat ", "
+             (List.filteri (fun i _ -> i < 4) members
+             |> List.map (Printf.sprintf "0x%x"))))
+      (Cache.Contention.classes sets)
+  in
+  Cmd.v
+    (Cmd.info "probe-cache"
+       ~doc:"Reverse-engineer L3 contention sets on the simulated machine")
+    Term.(const run $ pool $ pages $ reboots $ output)
+
+(* ---------------- replay ---------------- *)
+
+let replay_cmd =
+  let pcap =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PCAP"
+           ~doc:"Workload to replay.")
+  in
+  let samples =
+    Arg.(value & opt int 20_000 & info [ "samples" ] ~docv:"N"
+           ~doc:"Packets to measure.")
+  in
+  let run name pcap samples =
+    let nf = Nf.Registry.find name in
+    let w = Testbed.Workload.load_pcap ~name:pcap pcap in
+    let nop = Testbed.Tg.nop_baseline ~samples () in
+    let m = Testbed.Tg.measure ~samples nf w in
+    Printf.printf "%s x %s (%d packets, %d flows):\n" name pcap
+      (Testbed.Workload.length w) (Testbed.Workload.flows w);
+    Printf.printf "  median latency   %.0f ns (NOP %+.0f)\n"
+      (Testbed.Tg.median_latency_ns m)
+      (Testbed.Tg.deviation_from_nop_ns m ~nop);
+    Printf.printf "  median instrs    %d /pkt\n" (Testbed.Tg.median_instrs m);
+    Printf.printf "  median L3 misses %d /pkt\n" (Testbed.Tg.median_l3_misses m);
+    Printf.printf "  max throughput   %.2f Mpps (<1%% loss)\n"
+      (Testbed.Tg.max_throughput_mpps m)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Measure a PCAP workload against an NF on the testbed")
+    Term.(const run $ nf_arg $ pcap $ samples)
+
+(* ---------------- dump ---------------- *)
+
+let dump_cmd =
+  let costs_flag =
+    Arg.(value & flag & info [ "costs" ]
+           ~doc:"Also print the potential-cost annotation per instruction.")
+  in
+  let run name costs_flag =
+    let nf = Nf.Registry.find name in
+    let prog = nf.Nf.Nf_def.program in
+    if not costs_flag then Format.printf "%a@." Ir.Cfg.pp prog
+    else begin
+      let annot =
+        Symbex.Cost.annotate
+          (Symbex.Costs.default Cache.Geometry.xeon_e5_2667v2)
+          prog
+      in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) prog.Ir.Cfg.funcs [] in
+      List.iter
+        (fun fname ->
+          let f = Ir.Cfg.func prog fname in
+          Format.printf "fn %s  (full cost %d cycles)@." fname
+            (Symbex.Cost.full_cost annot fname);
+          Array.iteri
+            (fun pc instr ->
+              Format.printf "  %3d: [%6d] %a@." pc
+                (Symbex.Cost.to_return annot ~func:fname ~pc)
+                Ir.Cfg.pp_instr instr)
+            f.Ir.Cfg.body)
+        (List.sort compare names)
+    end
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print an NF's NFIR listing (with --costs, its §3.4 annotation)")
+    Term.(const run $ nf_arg $ costs_flag)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id, e.g. fig4 or table1; `castan experiment list'\
+                 enumerates them.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down workloads.")
+  in
+  let run id quick =
+    if id = "list" then
+      List.iter
+        (fun (e : Castan.Harness.entry) ->
+          Printf.printf "%-26s %s\n" e.id e.descr)
+        Castan.Harness.all
+    else
+      let config =
+        if quick then Castan.Experiment.quick_config
+        else Castan.Experiment.default_config
+      in
+      Castan.Harness.run_id config id
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables, figures or ablations")
+    Term.(const run $ id $ quick)
+
+let () =
+  let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in
+  let info = Cmd.info "castan" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ list_cmd; analyze_cmd; probe_cmd; replay_cmd; dump_cmd; experiment_cmd ]))

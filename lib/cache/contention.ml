@@ -1,0 +1,177 @@
+(* The three-step discovery of §3.2.  [S] is kept as a list of virtual
+   addresses; probing time is measured on the simulated machine. *)
+
+let probe m s = Probe.probe_time m (Array.of_list s)
+
+(* Step 1: grow S until adding some address A bumps probing time past δ.
+   Returns (S including A, A, remaining candidates). *)
+let grow m ~delta candidates =
+  let rec go s time = function
+    | [] -> None
+    | a :: rest ->
+        let s' = a :: s in
+        let time' = probe m s' in
+        if time > 0 && time' - time > delta then Some (s', rest)
+        else go s' time' rest
+  in
+  go [] 0 candidates
+
+(* Step 2: shrink S to exactly the α+1 members of the contention set C:
+   removing a member of C relieves the thrashing (drop > δ), removing an
+   unrelated address does not. *)
+let shrink m ~delta s =
+  let full_time = probe m s in
+  let rec go kept pending time =
+    match pending with
+    | [] -> kept
+    | a :: rest ->
+        let s' = kept @ rest in
+        let time' = probe m s' in
+        if time - time' > delta then go (a :: kept) rest time
+        else go kept rest time'
+  in
+  go [] s full_time
+
+(* Step 3: classify remaining candidates: swapping a member of C for A keeps
+   the probing time high iff A also belongs to C. *)
+let classify m ~delta core candidates =
+  match core with
+  | [] -> []
+  | victim :: rest ->
+      let base_time = probe m core in
+      List.filter
+        (fun a ->
+          let time = probe m (a :: rest) in
+          base_time - time <= delta)
+        candidates
+      |> fun extra -> victim :: rest @ extra
+
+let discover_sets m ~pool ?(max_sets = 64) () =
+  let delta = Probe.delta m.Probe.geom in
+  let rec loop sets candidates n =
+    if n = 0 || List.length candidates <= Geometry.l3_assoc m.Probe.geom then
+      List.rev sets
+    else
+      match grow m ~delta candidates with
+      | None -> List.rev sets
+      | Some (s, _unused_rest) ->
+          let core = shrink m ~delta s in
+          if core = [] then List.rev sets
+          else
+            let others = List.filter (fun a -> not (List.mem a core)) candidates in
+            let full_set = classify m ~delta core others in
+            let remaining =
+              List.filter (fun a -> not (List.mem a full_set)) candidates
+            in
+            loop (full_set :: sets) remaining (n - 1)
+  in
+  loop [] (Array.to_list pool) max_sets
+
+type t = {
+  alpha : int;
+  line : int;
+  class_of : (int, int) Hashtbl.t;
+  n_classes : int;
+}
+
+let consistent ?(slice_seed = 0) ?(pages = 8) ?(reboots = 2) ~geom ~offsets () =
+  (* Each run assigns every offset a local set id (or none).  Offsets are
+     consistently co-located iff their id vectors across all runs agree. *)
+  let runs = ref [] in
+  for reboot = 0 to reboots - 1 do
+    let m = Probe.machine ~slice_seed ~vmem_seed:(1 + reboot) geom in
+    for page = 1 to pages do
+      let base = page lsl Vmem.page_bits in
+      let pool = Array.map (fun o -> base + o) offsets in
+      let sets = discover_sets m ~pool () in
+      let ids = Hashtbl.create (Array.length offsets) in
+      List.iteri
+        (fun id members ->
+          List.iter (fun a -> Hashtbl.replace ids (Vmem.offset_of a) id) members)
+        sets;
+      runs := ids :: !runs
+    done
+  done;
+  let signature o =
+    List.map
+      (fun ids -> match Hashtbl.find_opt ids o with Some id -> id | None -> -1)
+      !runs
+  in
+  (* Offsets unclassified in any run are dropped; the rest are grouped by
+     their cross-run signature. *)
+  let groups : (int list, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun o ->
+      let s = signature o in
+      if not (List.mem (-1) s) then
+        let cur = match Hashtbl.find_opt groups s with Some l -> l | None -> [] in
+        Hashtbl.replace groups s (o :: cur))
+    offsets;
+  let class_of = Hashtbl.create (Array.length offsets) in
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _sig members ->
+      if List.length members >= 2 then begin
+        List.iter
+          (fun o -> Hashtbl.replace class_of (o / geom.line) !n)
+          members;
+        incr n
+      end)
+    groups;
+  { alpha = Geometry.l3_assoc geom; line = geom.line; class_of; n_classes = !n }
+
+let standard_offsets geom ~count =
+  let unit = Geometry.l3_sets_per_slice geom * geom.Geometry.line in
+  let page = 1 lsl Vmem.page_bits in
+  let spread = max 1 (page / unit / count) in
+  Array.init count (fun i -> i * spread * unit)
+
+let class_of_vaddr t vaddr =
+  Hashtbl.find_opt t.class_of (Vmem.offset_of vaddr / t.line)
+
+let classes t =
+  let acc = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun line_id cls ->
+      let cur = match Hashtbl.find_opt acc cls with Some l -> l | None -> [] in
+      Hashtbl.replace acc cls (line_id * t.line :: cur))
+    t.class_of;
+  Hashtbl.fold (fun cls members l -> (cls, List.sort compare members) :: l) acc []
+  |> List.sort compare
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "castan-contention-sets v1 alpha=%d line=%d classes=%d\n"
+        t.alpha t.line t.n_classes;
+      Hashtbl.iter
+        (fun line_id cls -> Printf.fprintf oc "%d %d\n" (line_id * t.line) cls)
+        t.class_of)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let alpha, line, n_classes =
+        try
+          Scanf.sscanf header "castan-contention-sets v1 alpha=%d line=%d classes=%d"
+            (fun a l c -> (a, l, c))
+        with Scanf.Scan_failure _ | End_of_file ->
+          failwith "Contention.load: bad header"
+      in
+      let class_of = Hashtbl.create 256 in
+      (try
+         while true do
+           let l = input_line ic in
+           if String.trim l <> "" then
+             Scanf.sscanf l "%d %d" (fun offset cls ->
+                 if offset mod line <> 0 then
+                   failwith "Contention.load: misaligned offset";
+                 Hashtbl.replace class_of (offset / line) cls)
+         done
+       with End_of_file -> ());
+      { alpha; line; class_of; n_classes })

@@ -1,0 +1,59 @@
+(* Each set is an array of tags ordered MRU-first; -1 marks an empty way. *)
+type t = { ways : int; sets : int array array; mutable last_evicted : int }
+
+let create ~sets ~ways =
+  { ways; sets = Array.init sets (fun _ -> Array.make ways (-1)); last_evicted = -1 }
+
+let find set tag =
+  let n = Array.length set in
+  let rec go i = if i >= n then -1 else if set.(i) = tag then i else go (i + 1) in
+  go 0
+
+(* Move the entry at [pos] to the front, shifting the prefix down. *)
+let promote set pos =
+  let tag = set.(pos) in
+  Array.blit set 0 set 1 pos;
+  set.(0) <- tag
+
+let access t ~set ~tag =
+  let s = t.sets.(set) in
+  let pos = find s tag in
+  if pos = 0 then begin
+    t.last_evicted <- -1;
+    true
+  end
+  else if pos > 0 then begin
+    promote s pos;
+    t.last_evicted <- -1;
+    true
+  end
+  else begin
+    let evicted = s.(t.ways - 1) in
+    Array.blit s 0 s 1 (t.ways - 1);
+    s.(0) <- tag;
+    t.last_evicted <- evicted;
+    false
+  end
+
+let last_evicted t = t.last_evicted
+
+let invalidate t ~set ~tag =
+  let s = t.sets.(set) in
+  let pos = find s tag in
+  if pos >= 0 then begin
+    (* Shift the suffix up and clear the last way. *)
+    Array.blit s (pos + 1) s pos (t.ways - pos - 1);
+    s.(t.ways - 1) <- -1
+  end
+
+let resident t ~set ~tag = find t.sets.(set) tag >= 0
+
+let flush t =
+  t.last_evicted <- -1;
+  Array.iter (fun s -> Array.fill s 0 (Array.length s) (-1)) t.sets
+
+let occupancy t =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) acc s)
+    0 t.sets

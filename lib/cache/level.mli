@@ -1,0 +1,26 @@
+(** One set-associative LRU cache level.
+
+    Tags are full line ids (so that an evicted tag can be re-located in other
+    levels for inclusive back-invalidation); the caller computes the set
+    index. *)
+
+type t
+
+val create : sets:int -> ways:int -> t
+
+val access : t -> set:int -> tag:int -> bool
+(** [access t ~set ~tag] looks the line up, promotes it to MRU on a hit, or
+    inserts it on a miss; returns whether it hit.  On a miss that pushed out
+    an LRU victim, {!last_evicted} returns its tag (allocation-free API: this
+    is on the hot path of every simulated memory access). *)
+
+val last_evicted : t -> int
+(** Tag evicted by the most recent {!access}, or [-1] if none was. *)
+
+val invalidate : t -> set:int -> tag:int -> unit
+(** Removes the line if present (inclusive-hierarchy back-invalidation). *)
+
+val resident : t -> set:int -> tag:int -> bool
+val flush : t -> unit
+val occupancy : t -> int
+(** Number of valid lines currently held. *)

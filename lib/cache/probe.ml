@@ -1,0 +1,31 @@
+type machine = { hier : Hierarchy.t; vmem : Vmem.t; geom : Geometry.t }
+
+let machine ?(slice_seed = 0) ?(vmem_seed = 0) ?(prefetch = false) geom =
+  {
+    hier = Hierarchy.create ~slice_seed ~prefetch geom;
+    vmem = Vmem.create ~seed:vmem_seed;
+    geom;
+  }
+
+let iterations = 40
+
+let access_virtual m vaddr = Hierarchy.access m.hier (Vmem.translate m.vmem vaddr)
+
+let probe_time m addrs =
+  Hierarchy.flush m.hier;
+  let total = ref 0 in
+  for _ = 1 to iterations do
+    Array.iter
+      (fun a -> total := !total + Hierarchy.latency m.geom (access_virtual m a))
+      addrs
+  done;
+  !total
+
+(* The paper thresholds on "one extra DRAM access per iteration".  Under LRU,
+   spilling a set is more violent than that: cyclically accessing α+1 lines
+   of an α-way set makes every one of them miss, so the spill signal is
+   ~α·(dram−l3) per iteration.  Meanwhile growing the probe set past the
+   L1/L2 associativity also bumps probing time (every line moves from L1/L2
+   hits to L3 hits) — a spurious jump the threshold must ignore.  Three DRAM
+   deltas sits comfortably between the two. *)
+let delta (geom : Geometry.t) = iterations * (geom.lat_dram - geom.lat_l3) * 3

@@ -1,0 +1,31 @@
+(** Probing-time measurement on a simulated machine.
+
+    A machine is a cache hierarchy plus a virtual-memory mapping.  Probing a
+    set of virtual addresses replays the paper's measurement: flush, then
+    pointer-chase through the set sequentially for a number of iterations,
+    summing per-access latencies.  The contention threshold [delta] is the
+    extra time one additional DRAM access per iteration costs. *)
+
+type machine = {
+  hier : Hierarchy.t;
+  vmem : Vmem.t;
+  geom : Geometry.t;
+}
+
+val machine :
+  ?slice_seed:int -> ?vmem_seed:int -> ?prefetch:bool -> Geometry.t -> machine
+
+val iterations : int
+(** Probing repetitions per measurement. The paper uses 100 on real
+    hardware; the simulator is noise-free so 40 gives the same margins at
+    2.5x the speed (δ scales with it automatically). *)
+
+val probe_time : machine -> int array -> int
+(** [probe_time m addrs] returns the total cycles to read all [addrs] in
+    order, [iterations] times, starting from a flushed cache. *)
+
+val delta : Geometry.t -> int
+(** The contention threshold δ. *)
+
+val access_virtual : machine -> int -> Hierarchy.hit
+(** A single load at a virtual address (used by the testbed DUT). *)

@@ -1,0 +1,34 @@
+let page_bits = 30
+let offset_mask = (1 lsl page_bits) - 1
+let offset_of addr = addr land offset_mask
+
+type t = {
+  rng : Util.Rng.t;
+  mapping : (int, int) Hashtbl.t;  (* virtual page -> physical page *)
+  used : (int, unit) Hashtbl.t;  (* physical pages already handed out *)
+}
+
+let create ~seed =
+  {
+    rng = Util.Rng.create (0x9a9e + seed);
+    mapping = Hashtbl.create 8;
+    used = Hashtbl.create 8;
+  }
+
+let physical_page t vpage =
+  match Hashtbl.find_opt t.mapping vpage with
+  | Some p -> p
+  | None ->
+      (* Model a machine with 1024 physical 1GB page frames. *)
+      let rec pick () =
+        let p = Util.Rng.int t.rng 1024 in
+        if Hashtbl.mem t.used p then pick () else p
+      in
+      let p = pick () in
+      Hashtbl.replace t.used p ();
+      Hashtbl.replace t.mapping vpage p;
+      p
+
+let translate t vaddr =
+  let vpage = vaddr lsr page_bits in
+  (physical_page t vpage lsl page_bits) lor offset_of vaddr

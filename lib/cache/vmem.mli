@@ -1,0 +1,24 @@
+(** Virtual-to-physical translation with 1GB pages.
+
+    Bits 0–29 of an address are the page offset and are identical between
+    virtual and physical addresses; the physical page number is assigned
+    randomly per process run, which is exactly why contention sets differ
+    across runs and must be post-processed for consistency (§3.2). *)
+
+type t
+
+val page_bits : int
+(** 30: 1GB pages. *)
+
+val offset_of : int -> int
+(** Bits 0-29 of an address. *)
+
+val create : seed:int -> t
+(** A fresh process run / reboot: a new random page placement. *)
+
+val translate : t -> int -> int
+(** Virtual byte address to physical byte address; the mapping of each 1GB
+    virtual page is assigned lazily on first touch. *)
+
+val physical_page : t -> int -> int
+(** Physical page number backing the given virtual page number. *)

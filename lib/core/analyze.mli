@@ -1,0 +1,57 @@
+(** The CASTAN pipeline (§3.1): from an NF to an adversarial workload.
+
+    Runs directed symbolic execution over [n] symbolic packets with the
+    configured cache model, then post-processes the most expensive states:
+    havoced hashes are reconciled through rainbow tables (§3.5), the path
+    constraint is solved, and the model's packets become the workload.  If
+    the best state's constraints cannot be solved, the next-ranked states
+    are tried — mirroring the tool's "pick the state with the highest
+    cost" step with a practical fallback.
+
+    Rainbow tables are built once per (hash, key-space) pair and memoized
+    across analyses. *)
+
+type cache_kind =
+  | Contention_sets of Cache.Contention.t  (** the paper's default *)
+  | Oracle  (** ground-truth slice hash: the perfect-knowledge ablation *)
+  | Baseline  (** no contention knowledge: cold-miss-only ablation *)
+
+type config = {
+  n_packets : int option;  (** default: the NF's Table-4 size *)
+  strategy : Symbex.Searcher.strategy;
+  cache : cache_kind;
+  m : int;
+  time_budget : float;
+  instr_budget : int;
+  max_states_tried : int;  (** ranked states to attempt solving *)
+  seed : int;
+}
+
+val default_config : ?cache:cache_kind -> unit -> config
+(** Castan searcher, M = 2, 30s/5M-instruction budget, baseline-free
+    contention model must be provided by [cache] (default {!Baseline} so the
+    call works without a discovery run; experiments pass discovered sets). *)
+
+type outcome = {
+  nf : string;
+  workload : Testbed.Workload.t;  (** named "CASTAN" *)
+  predicted : Symbex.State.metrics list;  (** per packet, from the model *)
+  predicted_cost : int;  (** total cycles of the chosen state *)
+  n_havocs : int;
+  reconciled : int;
+  unreconciled : int;
+  states_tried : int;
+  analysis_time : float;
+  stats : Symbex.Driver.stats;
+}
+
+val run : ?config:config -> Nf.Nf_def.t -> outcome
+(** @raise Failure if no explored state yields a solvable workload (does not
+    happen for the 11 evaluation NFs). *)
+
+val discover_contention_sets :
+  ?slice_seed:int -> ?pool:int -> ?pages:int -> ?reboots:int -> unit ->
+  Cache.Contention.t
+(** Convenience wrapper running §3.2 discovery with the standard candidate
+    pool; memoized on its arguments (the empirical model is reused across
+    NF analyses, as one would reuse the files on disk). *)

@@ -1,0 +1,112 @@
+type row = { label : string; measurement : Testbed.Tg.measurement }
+
+type nf_run = {
+  nf : Nf.Nf_def.t;
+  nop : Testbed.Tg.measurement;
+  rows : row list;
+  castan : Analyze.outcome;
+}
+
+type config = {
+  scale : Testbed.Traffic.scale;
+  samples : int;
+  analysis_time : float;
+  analysis_instrs : int;
+  use_contention_model : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    scale = `Default;
+    samples = 20_000;
+    analysis_time = 10.0;
+    analysis_instrs = 3_000_000;
+    use_contention_model = true;
+    seed = 42;
+  }
+
+let quick_config =
+  {
+    scale = `Quick;
+    samples = 4_000;
+    analysis_time = 3.0;
+    analysis_instrs = 800_000;
+    use_contention_model = true;
+    seed = 42;
+  }
+
+let cache : (string, nf_run) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset cache
+
+let cache_key name (c : config) =
+  Printf.sprintf "%s/%s/%d/%b" name
+    (match c.scale with `Quick -> "q" | `Default -> "d" | `Paper -> "p")
+    c.samples c.use_contention_model
+
+let run ?(config = default_config) name =
+  let key = cache_key name config in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let nf = Nf.Registry.find name in
+      let analysis_cfg =
+        {
+          (Analyze.default_config
+             ~cache:
+               (if config.use_contention_model then
+                  Analyze.Contention_sets
+                    (Analyze.discover_contention_sets ())
+                else Analyze.Baseline)
+             ())
+          with
+          time_budget = config.analysis_time;
+          instr_budget = config.analysis_instrs;
+          seed = config.seed;
+        }
+      in
+      let castan = Analyze.run ~config:analysis_cfg nf in
+      let shape = Testbed.Workload.shape nf.Nf.Nf_def.shape in
+      let seed = config.seed in
+      let samples = config.samples in
+      let castan_flows = Testbed.Workload.flows castan.Analyze.workload in
+      let measure w = Testbed.Tg.measure ~seed ~samples nf w in
+      let generic =
+        [
+          ("1 Packet", shape (Testbed.Traffic.one_packet ()));
+          ("Zipfian", shape (Testbed.Traffic.zipfian ~scale:config.scale ~seed ()));
+          ("UniRand", shape (Testbed.Traffic.unirand ~scale:config.scale ~seed ()));
+          ( "UniRand CASTAN",
+            shape (Testbed.Traffic.unirand_castan ~seed ~flows:(max castan_flows 1)) );
+          ("CASTAN", castan.Analyze.workload);
+        ]
+      in
+      let manual =
+        match nf.Nf.Nf_def.manual with
+        | Some gen ->
+            let rng = Util.Rng.create (0x3a41 + seed) in
+            [
+              ( "Manual",
+                Testbed.Workload.make ~name:"Manual"
+                  (gen rng nf.Nf.Nf_def.castan_packets) );
+            ]
+        | None -> []
+      in
+      let rows =
+        List.map
+          (fun (label, w) -> { label; measurement = measure w })
+          (generic @ manual)
+      in
+      let r =
+        { nf; nop = Testbed.Tg.nop_baseline ~seed ~samples (); rows; castan }
+      in
+      Hashtbl.replace cache key r;
+      r
+
+let find_row r label =
+  match List.find_opt (fun row -> row.label = label) r.rows with
+  | Some row -> row.measurement
+  | None -> raise Not_found
+
+let workload_labels r = List.map (fun row -> row.label) r.rows

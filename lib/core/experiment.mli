@@ -1,0 +1,45 @@
+(** Orchestration of the paper's measurement campaign (§5).
+
+    One [nf_run] reproduces everything §5 measures for one NF: the NOP
+    baseline, the generic workloads (1 Packet, Zipfian, UniRand), the
+    volume-fair UniRand-CASTAN, the synthesized CASTAN workload, and — where
+    the paper has one — the hand-crafted Manual workload.  Runs are memoized
+    by (NF, scale), since every table and figure draws on the same eleven
+    campaigns. *)
+
+type row = { label : string; measurement : Testbed.Tg.measurement }
+
+type nf_run = {
+  nf : Nf.Nf_def.t;
+  nop : Testbed.Tg.measurement;
+  rows : row list;  (** in the paper's legend order *)
+  castan : Analyze.outcome;
+}
+
+type config = {
+  scale : Testbed.Traffic.scale;
+  samples : int;  (** latency samples per workload *)
+  analysis_time : float;  (** symbex budget per NF, seconds *)
+  analysis_instrs : int;
+  use_contention_model : bool;  (** false = baseline cache-model ablation *)
+  seed : int;
+}
+
+val default_config : config
+(** Default scale, 20,000 samples, 10s/3M-instruction analysis budget,
+    contention model on. *)
+
+val quick_config : config
+(** Scaled down for tests and smoke runs. *)
+
+val run : ?config:config -> string -> nf_run
+(** [run name] looks the NF up in {!Nf.Registry} and runs (or returns the
+    memoized) campaign. *)
+
+val find_row : nf_run -> string -> Testbed.Tg.measurement
+(** @raise Not_found for labels absent from this run (e.g. "Manual"). *)
+
+val workload_labels : nf_run -> string list
+
+val clear_cache : unit -> unit
+(** Forget memoized campaigns (tests use it to vary configurations). *)

@@ -1,0 +1,446 @@
+type entry = {
+  id : string;
+  descr : string;
+  run : Experiment.config -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Figures (§5.2-§5.4)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type figure = {
+  fid : string;
+  nf_name : string;
+  kind : [ `Latency | `Cycles ];
+  caption : string;
+}
+
+let figures =
+  [
+    { fid = "fig4"; nf_name = "lpm-1stage-dl"; kind = `Latency;
+      caption = "End-to-end latency CDF for LPM with 1-stage Direct Lookup" };
+    { fid = "fig5"; nf_name = "lpm-1stage-dl"; kind = `Cycles;
+      caption = "CPU reference cycles CDF for LPM with 1-stage Direct Lookup" };
+    { fid = "fig6"; nf_name = "lpm-2stage-dl"; kind = `Latency;
+      caption = "End-to-end latency CDF for LPM with 2-stage Direct Lookup" };
+    { fid = "fig7"; nf_name = "lpm-btrie"; kind = `Latency;
+      caption = "End-to-end latency CDF for LPM with a Patricia trie" };
+    { fid = "fig8"; nf_name = "lpm-btrie"; kind = `Cycles;
+      caption = "CPU reference cycles CDF for LPM with a Patricia trie" };
+    { fid = "fig9"; nf_name = "nat-unbalanced-tree"; kind = `Latency;
+      caption = "End-to-end latency CDF for NAT with an unbalanced tree" };
+    { fid = "fig10"; nf_name = "nat-unbalanced-tree"; kind = `Cycles;
+      caption = "CPU reference cycles CDF for NAT with an unbalanced tree" };
+    { fid = "fig11"; nf_name = "nat-red-black-tree"; kind = `Latency;
+      caption = "End-to-end latency CDF for NAT with a red-black tree" };
+    { fid = "fig12"; nf_name = "lb-hash-table"; kind = `Latency;
+      caption = "End-to-end latency CDF for LB with a hash table" };
+    { fid = "fig13"; nf_name = "lb-hash-ring"; kind = `Latency;
+      caption = "End-to-end latency CDF for LB with a hash ring" };
+    { fid = "fig14"; nf_name = "nat-hash-table"; kind = `Latency;
+      caption = "End-to-end latency CDF for NAT with a hash table" };
+    { fid = "fig15"; nf_name = "nat-hash-ring"; kind = `Latency;
+      caption = "End-to-end latency CDF for NAT with a hash ring" };
+  ]
+
+let figure_nfs = List.map (fun f -> (f.fid, f.nf_name)) figures
+
+let run_figure f config =
+  let r = Experiment.run ~config f.nf_name in
+  match f.kind with
+  | `Latency ->
+      Report.print_cdf_figure ~id:f.fid ~title:f.caption
+        ~unit_label:"latency ns" (Report.latency_series r)
+  | `Cycles ->
+      Report.print_cdf_figure ~id:f.fid ~title:f.caption ~unit_label:"cycles"
+        (Report.cycles_series r)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1-5                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table_nfs = List.filter (fun n -> n <> "nop") Nf.Registry.names
+
+let all_runs config = List.map (fun n -> Experiment.run ~config n) table_nfs
+
+let tables =
+  [
+    ("table1", "maximum throughput (Mpps) per NF and workload",
+     fun c -> Report.print_throughput_table (all_runs c));
+    ("table2", "median instructions retired per packet",
+     fun c -> Report.print_instrs_table (all_runs c));
+    ("table3", "median L3 misses per packet",
+     fun c -> Report.print_misses_table (all_runs c));
+    ("table4", "CASTAN analysis: packets generated, run time",
+     fun c -> Report.print_analysis_table (all_runs c));
+    ("table5", "median latency deviation from NOP (ns)",
+     fun c -> Report.print_deviation_table (all_runs c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices                                     *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_budget (c : Experiment.config) frac =
+  (max 1.0 (c.analysis_time *. frac), max 100_000 (c.analysis_instrs / 4))
+
+(* Directed search: compare the best predicted cost each strategy reaches
+   under the same budget. *)
+let ablation_searcher (config : Experiment.config) =
+  Printf.printf "\n== ablation-searcher: best predicted cost by strategy ==\n";
+  let time, instrs = analysis_budget config 0.3 in
+  let nfs = [ "lpm-btrie"; "nat-unbalanced-tree"; "lb-hash-table" ] in
+  let strategies = Symbex.Searcher.[ Castan; Dfs; Bfs; Random 11 ] in
+  let header = "NF" :: List.map Symbex.Searcher.strategy_name strategies in
+  let rows =
+    List.map
+      (fun name ->
+        let nf = Nf.Registry.find name in
+        name
+        :: List.map
+             (fun strategy ->
+               let cfg =
+                 { (Analyze.default_config ()) with
+                   strategy; n_packets = Some 10;
+                   time_budget = time; instr_budget = instrs }
+               in
+               match Analyze.run ~config:cfg nf with
+               | o -> string_of_int o.Analyze.predicted_cost
+               | exception Failure _ -> "fail")
+             strategies)
+      nfs
+  in
+  Util.Table.print ~header ~rows
+
+(* Cache-model quality: empirical contention sets vs the ground-truth oracle
+   vs no model, measured end to end on the cache-sensitive NF. *)
+let ablation_cache_model (config : Experiment.config) =
+  Printf.printf
+    "\n== ablation-cache-model: LPM 1-stage DL, measured CASTAN workload ==\n";
+  let nf = Nf.Registry.find "lpm-1stage-dl" in
+  let samples = max 4000 (config.samples / 2) in
+  let nop = Testbed.Tg.nop_baseline ~samples () in
+  let kinds =
+    [
+      ("baseline", Analyze.Baseline);
+      ("contention-sets",
+       Analyze.Contention_sets (Analyze.discover_contention_sets ()));
+      ("oracle", Analyze.Oracle);
+    ]
+  in
+  let header =
+    [ "cache model"; "dev vs NOP (ns)"; "L3 miss/pkt"; "tput (Mpps)" ]
+  in
+  let rows =
+    List.map
+      (fun (label, kind) ->
+        let cfg =
+          { (Analyze.default_config ~cache:kind ()) with
+            time_budget = fst (analysis_budget config 1.0) }
+        in
+        let o = Analyze.run ~config:cfg nf in
+        let m = Testbed.Tg.measure ~samples nf o.Analyze.workload in
+        [
+          label;
+          Printf.sprintf "%.0f" (Testbed.Tg.deviation_from_nop_ns m ~nop);
+          string_of_int (Testbed.Tg.median_l3_misses m);
+          Printf.sprintf "%.2f" (Testbed.Tg.max_throughput_mpps m);
+        ])
+      kinds
+  in
+  Util.Table.print ~header ~rows
+
+(* The loop bound M of the potential-cost annotation. *)
+let ablation_loop_bound (config : Experiment.config) =
+  Printf.printf "\n== ablation-loop-bound: best cost found vs M ==\n";
+  let time, instrs = analysis_budget config 0.3 in
+  let nfs = [ "lpm-btrie"; "nat-unbalanced-tree" ] in
+  let header = [ "NF"; "M=1"; "M=2"; "M=3" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let nf = Nf.Registry.find name in
+        name
+        :: List.map
+             (fun m ->
+               let cfg =
+                 { (Analyze.default_config ()) with
+                   m; n_packets = Some 10;
+                   time_budget = time; instr_budget = instrs }
+               in
+               match Analyze.run ~config:cfg nf with
+               | o -> string_of_int o.Analyze.predicted_cost
+               | exception Failure _ -> "fail")
+             [ 1; 2; 3 ])
+      nfs
+  in
+  Util.Table.print ~header ~rows
+
+(* Tailored rainbow tables vs none (§3.5). *)
+let ablation_rainbow (config : Experiment.config) =
+  Printf.printf "\n== ablation-rainbow: havoc reconciliation success ==\n";
+  let time, _ = analysis_budget config 0.5 in
+  let header =
+    [ "NF"; "havocs"; "reconciled (tailored)"; "reconciled (none)" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let nf = Nf.Registry.find name in
+        let cfg =
+          { (Analyze.default_config
+               ~cache:
+                 (Analyze.Contention_sets (Analyze.discover_contention_sets ()))
+               ())
+            with time_budget = time; n_packets = Some 12 }
+        in
+        let o = Analyze.run ~config:cfg nf in
+        let no_tables = { nf with Nf.Nf_def.keyspaces = [] } in
+        let o2 = Analyze.run ~config:cfg no_tables in
+        [
+          name;
+          string_of_int o.Analyze.n_havocs;
+          string_of_int o.Analyze.reconciled;
+          string_of_int o2.Analyze.reconciled;
+        ])
+      [ "lb-hash-table"; "lb-hash-ring"; "nat-hash-table"; "nat-hash-ring" ]
+  in
+  Util.Table.print ~header ~rows
+
+(* Contention sets are processor-specific: a workload synthesized against
+   one hidden slice hash loses its teeth on a different CPU model. *)
+let ablation_cpu_transfer (config : Experiment.config) =
+  Printf.printf
+    "\n== ablation-cpu-transfer: CASTAN workload measured on other CPUs ==\n";
+  let nf = Nf.Registry.find "lpm-1stage-dl" in
+  let samples = max 4000 (config.samples / 2) in
+  let cfg =
+    { (Analyze.default_config
+         ~cache:(Analyze.Contention_sets (Analyze.discover_contention_sets ())) ())
+      with time_budget = fst (analysis_budget config 1.0) }
+  in
+  let o = Analyze.run ~config:cfg nf in
+  let header = [ "DUT CPU (slice hash)"; "dev vs NOP (ns)"; "L3 miss/pkt" ] in
+  let rows =
+    List.map
+      (fun slice_seed ->
+        let nop = Testbed.Tg.nop_baseline ~samples () in
+        let m = Testbed.Tg.measure ~samples ~slice_seed nf o.Analyze.workload in
+        [
+          (if slice_seed = 0 then "analyzed CPU (seed 0)"
+           else Printf.sprintf "different CPU (seed %d)" slice_seed);
+          Printf.sprintf "%.0f" (Testbed.Tg.deviation_from_nop_ns m ~nop);
+          string_of_int (Testbed.Tg.median_l3_misses m);
+        ])
+      [ 0; 1; 2 ]
+  in
+  Util.Table.print ~header ~rows
+
+(* Workloads for the machine-feature ablations. *)
+let ablation_cases scale =
+  [
+    ("nop / 1 Packet", Nf.Registry.nop (), Testbed.Traffic.one_packet ());
+    ( "lpm-1stage-dl / Zipfian",
+      Nf.Registry.find "lpm-1stage-dl",
+      Testbed.Traffic.zipfian ~scale ~seed:3 () );
+    ( "lpm-btrie / UniRand",
+      Nf.Registry.find "lpm-btrie",
+      Testbed.Traffic.unirand ~scale ~seed:3 () );
+  ]
+
+(* The paper's §3.3 claims: prefetching barely matters for NF traffic, and
+   DDIO improves all workloads the same. *)
+let ablation_prefetch (config : Experiment.config) =
+  Printf.printf "\n== ablation-prefetch: next-line prefetcher on/off ==\n";
+  let samples = max 4000 (config.samples / 2) in
+  let header = [ "NF x workload"; "median cycles (off)"; "median cycles (on)" ] in
+  let rows =
+    List.map
+      (fun (label, nf, w) ->
+        let med prefetch =
+          Util.Stats.median
+            (Testbed.Tg.cycles_cdf (Testbed.Tg.measure ~samples ~prefetch nf w))
+        in
+        [ label; Printf.sprintf "%.0f" (med false); Printf.sprintf "%.0f" (med true) ])
+      (ablation_cases config.scale)
+  in
+  Util.Table.print ~header ~rows
+
+let ablation_ddio (config : Experiment.config) =
+  Printf.printf "\n== ablation-ddio: DMA writes allocate into the cache ==\n";
+  let samples = max 4000 (config.samples / 2) in
+  let header =
+    [ "NF x workload"; "cycles (no ddio)"; "cycles (ddio)"; "delta" ]
+  in
+  let rows =
+    List.map
+      (fun (label, nf, w) ->
+        let med ddio =
+          Util.Stats.median
+            (Testbed.Tg.cycles_cdf (Testbed.Tg.measure ~samples ~ddio nf w))
+        in
+        let off = med false and on = med true in
+        [
+          label;
+          Printf.sprintf "%.0f" off;
+          Printf.sprintf "%.0f" on;
+          Printf.sprintf "%+.0f" (on -. off);
+        ])
+      (ablation_cases config.scale)
+  in
+  Util.Table.print ~header ~rows
+
+(* ------------------------------------------------------------------ *)
+(* §5.5 discussion experiments                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A partially adversarial stream: even a small CASTAN fraction hurts every
+   packet behind it in the queue (head-of-line blocking). *)
+let discussion_mixed_traffic (config : Experiment.config) =
+  Printf.printf
+    "\n== discussion-mixed-traffic: CASTAN fraction vs latency under load ==\n";
+  let nf = Nf.Registry.find "lpm-1stage-dl" in
+  let cfg =
+    { (Analyze.default_config
+         ~cache:(Analyze.Contention_sets (Analyze.discover_contention_sets ())) ())
+      with time_budget = fst (analysis_budget config 1.0) }
+  in
+  let o = Analyze.run ~config:cfg nf in
+  let zipf = Testbed.Traffic.zipfian ~scale:config.scale ~seed:config.seed () in
+  let samples = max 8000 config.samples in
+  let rate = 2.6 in
+  Printf.printf "offered load %.1f Mpps, 512-descriptor queue\n" rate;
+  let header =
+    [ "CASTAN fraction"; "median sojourn (ns)"; "p99 sojourn (ns)"; "loss" ]
+  in
+  let rows =
+    List.map
+      (fun fraction ->
+        let w =
+          if fraction = 0.0 then zipf
+          else if fraction = 1.0 then o.Analyze.workload
+          else
+            Testbed.Traffic.mix ~seed:config.seed ~fraction o.Analyze.workload
+              zipf
+        in
+        let m = Testbed.Tg.measure ~samples nf w in
+        let cdf, loss = Testbed.Tg.latency_under_load ~rate_mpps:rate m in
+        [
+          Printf.sprintf "%.0f%%" (fraction *. 100.0);
+          Printf.sprintf "%.0f" (Util.Stats.median cdf);
+          Printf.sprintf "%.0f" (Util.Stats.quantile cdf 0.99);
+          Printf.sprintf "%.3f" loss;
+        ])
+      [ 0.0; 0.05; 0.1; 0.25; 0.5; 1.0 ]
+  in
+  Util.Table.print ~header ~rows
+
+(* CASTAN under-approximates the worst case; the annotated ICFG (with every
+   memory access charged a DRAM trip) over-approximates it — the WCET-style
+   contrast of §6. *)
+let discussion_wcet (config : Experiment.config) =
+  Printf.printf
+    "\n== discussion-wcet: ICFG upper bound vs CASTAN lower bound (cycles/packet) ==\n";
+  let geom = Cache.Geometry.xeon_e5_2667v2 in
+  let pessimistic = { geom with lat_l1 = geom.lat_dram } in
+  let header =
+    [ "NF"; "ICFG bound (M=34)"; "CASTAN worst packet"; "measured median" ]
+  in
+  let time, instrs = analysis_budget config 0.5 in
+  let rows =
+    List.map
+      (fun name ->
+        let nf = Nf.Registry.find name in
+        (* M = 34 lets the bound unroll a 32-bit trie/tree descent fully;
+           for data-dependent loops it stays a structural assumption. *)
+        let upper =
+          Symbex.Cost.full_cost
+            (Symbex.Cost.annotate ~m:34 (Symbex.Costs.default pessimistic)
+               nf.Nf.Nf_def.program)
+            nf.Nf.Nf_def.program.Ir.Cfg.entry
+        in
+        let cfg =
+          { (Analyze.default_config ()) with
+            n_packets = Some 10; time_budget = time; instr_budget = instrs }
+        in
+        let o = Analyze.run ~config:cfg nf in
+        (* the most expensive single packet on the chosen path: the state the
+           cyclically replayed workload keeps the NF in *)
+        let lower =
+          List.fold_left
+            (fun acc (m : Symbex.State.metrics) -> max acc m.cycles)
+            0 o.Analyze.predicted
+        in
+        let measured =
+          Util.Stats.median
+            (Testbed.Tg.cycles_cdf
+               (Testbed.Tg.measure ~samples:4000 nf o.Analyze.workload))
+          -. float_of_int (Testbed.Dut.overhead_cycles + 290)
+        in
+        [
+          name;
+          string_of_int upper;
+          string_of_int lower;
+          Printf.sprintf "%.0f" measured;
+        ])
+      [ "lpm-btrie"; "lpm-1stage-dl"; "lb-hash-table"; "nat-unbalanced-tree" ]
+  in
+  Util.Table.print ~header ~rows;
+  print_endline
+    "(the ICFG bound assumes every access is a DRAM miss and each loop runs\n\
+    \ M-1 = 33 times: safe for loop-free NFs, structural otherwise — unlike\n\
+    \ CASTAN's lower bound it comes with no witness workload)"
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  List.map
+    (fun f -> { id = f.fid; descr = f.caption; run = run_figure f })
+    figures
+  @ List.map (fun (id, descr, run) -> { id; descr; run }) tables
+  @ [
+      { id = "ablation-searcher";
+        descr = "directed search vs DFS/BFS/random";
+        run = ablation_searcher };
+      { id = "ablation-cache-model";
+        descr = "contention sets vs oracle vs none";
+        run = ablation_cache_model };
+      { id = "ablation-loop-bound";
+        descr = "potential-cost loop bound M";
+        run = ablation_loop_bound };
+      { id = "ablation-rainbow";
+        descr = "tailored rainbow tables vs none";
+        run = ablation_rainbow };
+      { id = "ablation-cpu-transfer";
+        descr = "contention workload on a different CPU model";
+        run = ablation_cpu_transfer };
+      { id = "ablation-prefetch";
+        descr = "next-line prefetcher on/off (§3.3 claim)";
+        run = ablation_prefetch };
+      { id = "ablation-ddio";
+        descr = "DDIO on/off (§3.3 claim)";
+        run = ablation_ddio };
+      { id = "discussion-mixed-traffic";
+        descr = "partially adversarial traffic under load (§5.5)";
+        run = discussion_mixed_traffic };
+      { id = "discussion-wcet";
+        descr = "ICFG upper bound vs CASTAN lower bound (§6)";
+        run = discussion_wcet };
+    ]
+
+let ids = List.map (fun e -> e.id) all
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_id config id =
+  match find id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Harness.run_id: unknown experiment %s (known: %s)" id
+           (String.concat ", " ids))
+  | Some e ->
+      let t0 = Unix.gettimeofday () in
+      e.run config;
+      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)

@@ -1,0 +1,24 @@
+(** The experiment registry behind `bench/main.exe` and
+    `castan experiment`.
+
+    Every table and figure of the paper's §5, the ablation studies of the
+    design choices DESIGN.md calls out, and the §5.5 discussion experiments,
+    addressable by id.  Running an entry prints its report to stdout. *)
+
+type entry = {
+  id : string;
+  descr : string;
+  run : Experiment.config -> unit;
+}
+
+val all : entry list
+val ids : string list
+
+val find : string -> entry option
+
+val run_id : Experiment.config -> string -> unit
+(** Runs one entry and prints a timing trailer.
+    @raise Invalid_argument on unknown ids (message lists known ones). *)
+
+val figure_nfs : (string * string) list
+(** [(figure id, NF name)] for the CDF figures — used by tests and docs. *)

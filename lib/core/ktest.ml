@@ -1,0 +1,61 @@
+let ktest_string (o : Analyze.outcome) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "ktest file\n";
+  Buffer.add_string buf (Printf.sprintf "args: ['%s.bc']\n" o.Analyze.nf);
+  let n = Testbed.Workload.length o.Analyze.workload in
+  Buffer.add_string buf (Printf.sprintf "num objects: %d\n" (n * 5));
+  Array.iteri
+    (fun pkt p ->
+      List.iteri
+        (fun k field ->
+          let width_bytes = (Ir.Expr.field_width field + 7) / 8 in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "object %d: name: 'pkt%d.%s'\nobject %d: size: %d\nobject %d: \
+                data: 0x%0*x\n"
+               ((pkt * 5) + k) pkt (Ir.Expr.field_name field)
+               ((pkt * 5) + k) width_bytes
+               ((pkt * 5) + k) (width_bytes * 2)
+               (Nf.Packet.field p field)))
+        Ir.Expr.all_fields)
+    o.Analyze.workload.Testbed.Workload.packets;
+  Buffer.contents buf
+
+let metrics_string (o : Analyze.outcome) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "# CASTAN CPU model metrics, one row per packet of the generated path\n";
+  Buffer.add_string buf "packet\tinstructions\tloads\tstores\tcache_hits\tcache_misses\tcycles\n";
+  let total = ref Symbex.State.zero_metrics in
+  List.iteri
+    (fun k (m : Symbex.State.metrics) ->
+      let hits = m.loads + m.stores - m.l3_misses in
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%d\t%d\t%d\t%d\t%d\t%d\n" k m.instrs m.loads
+           m.stores hits m.l3_misses m.cycles);
+      total :=
+        {
+          Symbex.State.instrs = !total.Symbex.State.instrs + m.instrs;
+          loads = !total.loads + m.loads;
+          stores = !total.stores + m.stores;
+          l3_misses = !total.l3_misses + m.l3_misses;
+          cycles = !total.cycles + m.cycles;
+        })
+    o.Analyze.predicted;
+  let t = !total in
+  Buffer.add_string buf
+    (Printf.sprintf "# total\t%d\t%d\t%d\t%d\t%d\t%d\n" t.instrs t.loads
+       t.stores (t.loads + t.stores - t.l3_misses) t.l3_misses t.cycles);
+  Buffer.contents buf
+
+let write ~prefix o =
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc contents);
+    path
+  in
+  [
+    write_file (prefix ^ ".ktest") (ktest_string o);
+    write_file (prefix ^ ".metrics") (metrics_string o);
+  ]

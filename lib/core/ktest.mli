@@ -1,0 +1,17 @@
+(** CASTAN's analysis output files (§4).
+
+    A successful run generates two files per path: a KTEST file with the
+    concrete symbol assignments that exercise it (KLEE's test format — here
+    a faithful text rendering of the same content), and a CPU-model metrics
+    file listing, per packet, the instructions executed, loads and stores,
+    and how many memory accesses hit the cache.  The PCAP conversion lives
+    in {!Testbed.Workload.save_pcap}. *)
+
+val ktest_string : Analyze.outcome -> string
+(** One `object` per packet field, KLEE-style name/size/value triples. *)
+
+val metrics_string : Analyze.outcome -> string
+(** Tab-separated per-packet predictions with a header row and totals. *)
+
+val write : prefix:string -> Analyze.outcome -> string list
+(** Writes [prefix.ktest] and [prefix.metrics]; returns the paths. *)

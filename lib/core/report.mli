@@ -1,0 +1,33 @@
+(** Rendering experiment results in the paper's formats.
+
+    Figures are printed as CDF series (one column per workload, rows at
+    fixed quantiles — directly plottable), tables as aligned text mirroring
+    Tables 1-5. *)
+
+val print_cdf_figure :
+  id:string ->
+  title:string ->
+  unit_label:string ->
+  (string * Util.Stats.cdf) list ->
+  unit
+(** Quantile grid of 21 rows (0%, 5%, ..., 100%). *)
+
+val latency_series : Experiment.nf_run -> (string * Util.Stats.cdf) list
+(** NOP first, then the run's workloads — the latency figures' legends. *)
+
+val cycles_series : Experiment.nf_run -> (string * Util.Stats.cdf) list
+
+val print_throughput_table : Experiment.nf_run list -> unit
+(** Table 1: max throughput (Mpps) per NF and workload. *)
+
+val print_instrs_table : Experiment.nf_run list -> unit
+(** Table 2: median instructions retired per packet. *)
+
+val print_misses_table : Experiment.nf_run list -> unit
+(** Table 3: median L3 misses per packet. *)
+
+val print_analysis_table : Experiment.nf_run list -> unit
+(** Table 4: packets generated and analysis run time. *)
+
+val print_deviation_table : Experiment.nf_run list -> unit
+(** Table 5: median latency deviation from NOP (ns). *)

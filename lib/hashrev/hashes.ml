@@ -1,0 +1,36 @@
+type t = { name : string; bits : int; weight : int; apply : int -> int }
+
+let mask t = (1 lsl t.bits) - 1
+
+(* A xorshift-multiply mixer in the spirit of the lookup3/fxhash family NFs
+   actually ship: a few rounds of shift-xor and odd-constant multiply,
+   truncated to the output width.  Stays within 62-bit non-negative ints. *)
+let mix61 key =
+  let m = (1 lsl 61) - 1 in
+  let x = key land m in
+  let x = (x lxor (x lsr 33)) * 0xFF51AFD7ED558CC land m in
+  let x = (x lxor (x lsr 29)) * 0xC4CEB9FE1A85EC5 land m in
+  x lxor (x lsr 32)
+
+let flow16 =
+  {
+    name = "flow16";
+    bits = 16;
+    weight = 24;
+    apply = (fun key -> mix61 key land 0xFFFF);
+  }
+
+let ring24 =
+  {
+    name = "ring24";
+    bits = 24;
+    weight = 24;
+    apply = (fun key -> mix61 (key + 0x9E3779B9) land 0xFFFFFF);
+  }
+
+let all = [ flow16; ring24 ]
+
+let lookup name =
+  match List.find_opt (fun h -> h.name = name) all with
+  | Some h -> h
+  | None -> invalid_arg ("Hashes.lookup: unknown hash " ^ name)

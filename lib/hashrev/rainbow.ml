@@ -1,0 +1,118 @@
+type keyspace = { ks_name : string; count : int; key_of_index : int -> int }
+
+let keyspace ~name ~count ~key_of_index =
+  assert (count > 0);
+  { ks_name = name; count; key_of_index }
+
+type repr =
+  | Chains of {
+      chain_len : int;
+      (* endpoint key-index -> start key-indices *)
+      ends : (int, int list) Hashtbl.t;
+    }
+  | Exhaustive of { starts : int array; keys : int array }
+      (* counting-sorted by hash value: keys with hash h live at
+         keys[starts.(h) .. starts.(h+1) - 1]; compact enough for the
+         "a few million entries" tables the paper calls for *)
+
+type t = { hash : Hashes.t; ks : keyspace; repr : repr; entries : int }
+
+(* Column-salted reduction: maps a hash value to a key index. *)
+let reduce ks column h = (h + (column * 0x9E3779B9) + column) mod ks.count
+
+let chain_end hash ks chain_len start_idx =
+  let rec go idx col =
+    if col >= chain_len then idx
+    else
+      let h = hash.Hashes.apply (ks.key_of_index idx) in
+      go (reduce ks (col + 1) h) (col + 1)
+  in
+  go start_idx 0
+
+let build ~hash ks ?(chains = 4096) ?(chain_len = 64) () =
+  let ends = Hashtbl.create chains in
+  let n = min chains ks.count in
+  for c = 0 to n - 1 do
+    (* Deterministic spread of start points across the key space. *)
+    let start = c * (ks.count / n) in
+    let e = chain_end hash ks chain_len start in
+    let cur = match Hashtbl.find_opt ends e with Some l -> l | None -> [] in
+    Hashtbl.replace ends e (start :: cur)
+  done;
+  { hash; ks; repr = Chains { chain_len; ends }; entries = n }
+
+let build_exhaustive ~hash ks =
+  let space = 1 lsl hash.Hashes.bits in
+  let counts = Array.make (space + 1) 0 in
+  for i = 0 to ks.count - 1 do
+    let h = hash.Hashes.apply (ks.key_of_index i) in
+    counts.(h + 1) <- counts.(h + 1) + 1
+  done;
+  for h = 1 to space do
+    counts.(h) <- counts.(h) + counts.(h - 1)
+  done;
+  let starts = counts in
+  let keys = Array.make ks.count 0 in
+  let cursor = Array.copy starts in
+  for i = 0 to ks.count - 1 do
+    let k = ks.key_of_index i in
+    let h = hash.Hashes.apply k in
+    keys.(cursor.(h)) <- k;
+    cursor.(h) <- cursor.(h) + 1
+  done;
+  { hash; ks; repr = Exhaustive { starts; keys }; entries = ks.count }
+
+(* Walk a chain from [start_idx] looking for a key whose hash is [h]. *)
+let find_in_chain t chain_len start_idx h =
+  let ks = t.ks in
+  let rec go idx col =
+    if col >= chain_len then None
+    else
+      let key = ks.key_of_index idx in
+      let hv = t.hash.Hashes.apply key in
+      if hv = h then Some key else go (reduce ks (col + 1) hv) (col + 1)
+  in
+  go start_idx 0
+
+let invert t h =
+  match t.repr with
+  | Exhaustive { starts; keys } ->
+      if h < 0 || h + 1 >= Array.length starts then []
+      else
+        List.init (starts.(h + 1) - starts.(h)) (fun k -> keys.(starts.(h) + k))
+  | Chains { chain_len; ends } ->
+      (* Assume h appears at column j; complete the chain to its endpoint and
+         look the endpoint up; then re-walk matching chains from the start. *)
+      let candidates = ref [] in
+      for j = chain_len - 1 downto 0 do
+        let idx = ref (reduce t.ks (j + 1) h) in
+        for col = j + 1 to chain_len - 1 do
+          let hv = t.hash.Hashes.apply (t.ks.key_of_index !idx) in
+          idx := reduce t.ks (col + 1) hv
+        done;
+        match Hashtbl.find_opt ends !idx with
+        | None -> ()
+        | Some starts ->
+            List.iter
+              (fun s ->
+                match find_in_chain t chain_len s h with
+                | Some key when not (List.mem key !candidates) ->
+                    candidates := key :: !candidates
+                | _ -> ())
+              starts
+      done;
+      List.rev !candidates
+
+let hash t = t.hash
+let entries t = t.entries
+
+let coverage_sample t ~samples =
+  let rng = Util.Rng.create 0xc0de in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    (* Sample hash values that are actually achievable. *)
+    let k = t.ks.key_of_index (Util.Rng.int rng t.ks.count) in
+    let h = t.hash.Hashes.apply k in
+    if invert t h <> [] then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

@@ -1,0 +1,40 @@
+(** Rainbow tables (Oechslin time-memory trade-off) over flow-key spaces.
+
+    A key space enumerates the keys the table covers; a {e tailored} key
+    space restricts enumeration to keys likely to satisfy packet constraints
+    (the paper's example: populate the table only with keys that assume UDP,
+    since the IP-protocol constraint would otherwise reject ≈99% of
+    entries). *)
+
+type keyspace = {
+  ks_name : string;
+  count : int;
+  key_of_index : int -> int;  (** injective on [\[0, count)] *)
+}
+
+val keyspace :
+  name:string -> count:int -> key_of_index:(int -> int) -> keyspace
+
+type t
+
+val build :
+  hash:Hashes.t -> keyspace -> ?chains:int -> ?chain_len:int -> unit -> t
+(** Builds the chain table.  Defaults: 4096 chains of length 64.  Reduction
+    functions map a hash value back into the key space, salted per column. *)
+
+val build_exhaustive : hash:Hashes.t -> keyspace -> t
+(** The brute-force variant the paper combines with rainbow tables: a full
+    inverse index of the key space.  Only sensible for small spaces. *)
+
+val invert : t -> int -> int list
+(** [invert t h] returns candidate keys [k] with [hash k = h] (verified
+    before being returned).  Empty when the table has no coverage of [h]. *)
+
+val hash : t -> Hashes.t
+val entries : t -> int
+(** Number of (start, end) chain pairs, or key count for exhaustive
+    tables. *)
+
+val coverage_sample : t -> samples:int -> float
+(** Fraction of [samples] uniformly drawn hash values that {!invert}
+    recovers; diagnostics for table quality. *)

@@ -1,0 +1,101 @@
+type havoc = {
+  hv_pkt : int;
+  hv_hash : string;
+  hv_input : Ir.Expr.sexpr;
+  hv_output : Ir.Expr.sym;
+}
+
+type outcome = {
+  constraints : Ir.Expr.sexpr list;
+  reconciled : havoc list;
+  unreconciled : havoc list;
+}
+
+(* Step 1: candidate hash values for one havoc output under [pcs]: the value
+   a satisfying model assigns, then a spread of the output's abstract
+   domain. *)
+let value_candidates ~rng ~limit pcs output =
+  let out_expr : Ir.Expr.sexpr = Leaf output in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let push v =
+    if v >= 0 && not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  (match Solver.Solve.sat ~rng pcs with
+  | Sat m -> push (Solver.Solve.Model.get m output)
+  | Unsat | Unknown -> ());
+  let dom = Solver.Solve.domain_of pcs out_expr in
+  let d : Solver.Domain.t = dom in
+  let card = Solver.Domain.cardinal d in
+  let want = limit in
+  let stride = max 1 (card / want) in
+  let k = ref 0 in
+  while List.length !out < want && !k < card do
+    push (d.lo + (!k * d.step));
+    k := !k + stride
+  done;
+  List.rev !out
+
+let debug = Sys.getenv_opt "CASTAN_RECONCILE_DEBUG" <> None
+
+(* Steps 2+3 for one havoc: walk candidate hash values, invert each through
+   the table, and commit the first (value, key) pair the solver accepts. *)
+let reconcile_one ~tables ~rng ~limit pcs h =
+  match tables h.hv_hash with
+  | None -> None
+  | Some table ->
+      let commit hv key =
+        let eq_out : Ir.Expr.sexpr = Cmp (Eq, Leaf h.hv_output, Const hv) in
+        let eq_in : Ir.Expr.sexpr = Cmp (Eq, h.hv_input, Const key) in
+        let pcs' = eq_in :: eq_out :: pcs in
+        match Solver.Solve.sat ~rng pcs' with
+        | Sat _ -> Some pcs'
+        | Unsat ->
+            if debug then Printf.eprintf "reconcile: commit UNSAT (pkt %d hv=%d key=0x%x)\n%!" h.hv_pkt hv key;
+            None
+        | Unknown ->
+            if debug then Printf.eprintf "reconcile: commit UNKNOWN (pkt %d hv=%d)\n%!" h.hv_pkt hv;
+            None
+      in
+      let rec try_values = function
+        | [] -> None
+        | hv :: rest ->
+            let rec try_keys = function
+              | [] -> try_values rest
+              | key :: more -> (
+                  match commit hv key with
+                  | Some pcs' -> Some pcs'
+                  | None -> try_keys more)
+            in
+            let keys = Rainbow.invert table hv in
+            if debug && keys = [] then
+              Printf.eprintf "reconcile: no preimage (pkt %d hv=%d)\n%!" h.hv_pkt hv;
+            try_keys keys
+      in
+      let vals = value_candidates ~rng ~limit pcs h.hv_output in
+      if debug && vals = [] then
+        Printf.eprintf "reconcile: no value candidates (pkt %d)\n%!" h.hv_pkt;
+      try_values vals
+
+let run ~tables ?(rng = Util.Rng.create 0x5a17) ?(value_candidates = 24) ~pcs
+    ~havocs () =
+  let limit = value_candidates in
+  let ordered =
+    List.stable_sort (fun a b -> compare a.hv_pkt b.hv_pkt) havocs
+  in
+  let pcs, reconciled, unreconciled =
+    List.fold_left
+      (fun (pcs, ok, failed) h ->
+        match reconcile_one ~tables ~rng ~limit pcs h with
+        | Some pcs' -> (pcs', h :: ok, failed)
+        | None -> (pcs, ok, h :: failed))
+      (pcs, [], []) ordered
+  in
+  {
+    constraints = pcs;
+    reconciled = List.rev reconciled;
+    unreconciled = List.rev unreconciled;
+  }

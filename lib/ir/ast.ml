@@ -1,0 +1,36 @@
+type pexpr = Expr.pexpr
+
+type stmt =
+  | Assign of string * pexpr
+  | Load of string * pexpr * int
+  | Store of pexpr * pexpr * int
+  | Alloc of string * int
+  | If of pexpr * stmt list * stmt list
+  | While of pexpr * stmt list
+  | Break
+  | Call of string option * string * pexpr list
+  | Return of pexpr option
+  | Havoc of string * pexpr * string
+
+type fdef = { name : string; params : string list; body : stmt list }
+
+type program = {
+  name : string;
+  entry : string;
+  functions : fdef list;
+  regions : Memory.spec list;
+  heap_bytes : int;
+}
+
+let rec stmt_count stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | If (_, a, b) -> 1 + stmt_count a + stmt_count b
+      | While (_, b) -> 1 + stmt_count b
+      | Assign _ | Load _ | Store _ | Alloc _ | Break | Call _ | Return _
+      | Havoc _ ->
+          1)
+    0 stmts

@@ -1,0 +1,260 @@
+(* Compilation strategy: one pass resolves every variable of a function to a
+   slot in a flat int array; a second turns each expression into nested
+   closures over that array and each instruction into a [ctx -> env -> int]
+   closure returning the next program counter.  Function calls recurse
+   through a patched table, returns unwind with a local exception.
+
+   One semantic delta vs {!Interp}: reading a never-written variable yields
+   0 instead of raising — well-formed NF code never does either. *)
+
+type ctx = {
+  mutable mem : int Memory.t;
+  hooks : Interp.hooks;
+  mutable instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable remaining : int;
+}
+
+exception Ret of int
+
+type cfunc = {
+  cf_name : string;
+  nslots : int;
+  param_slots : int array;
+  mutable code : (ctx -> int array -> int) array;
+}
+
+type t = { funcs : (string, cfunc) Hashtbl.t; entry : string }
+
+(* ------------------------------------------------------------------ *)
+(* Slot assignment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let collect_vars (f : Cfg.func) =
+  let slots = Hashtbl.create 16 in
+  let add name =
+    if not (Hashtbl.mem slots name) then
+      Hashtbl.replace slots name (Hashtbl.length slots)
+  in
+  List.iter add f.params;
+  let add_expr e = Expr.iter_leaves add e in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Cfg.Assign (x, e) ->
+          add x;
+          add_expr e
+      | Cfg.Load { dst; addr; _ } ->
+          add dst;
+          add_expr addr
+      | Cfg.Store { addr; value; _ } ->
+          add_expr addr;
+          add_expr value
+      | Cfg.Alloc { dst; _ } -> add dst
+      | Cfg.Branch { cond; _ } -> add_expr cond
+      | Cfg.Jump _ -> ()
+      | Cfg.Call { dst; args; _ } ->
+          (match dst with Some d -> add d | None -> ());
+          List.iter add_expr args
+      | Cfg.Return (Some e) -> add_expr e
+      | Cfg.Return None -> ()
+      | Cfg.Havoc { dst; input; _ } ->
+          add dst;
+          add_expr input)
+    f.body;
+  slots
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_expr slots (e : Expr.pexpr) : int array -> int =
+  let slot name =
+    match Hashtbl.find_opt slots name with
+    | Some s -> s
+    | None -> invalid_arg ("Compile: unknown variable " ^ name)
+  in
+  let rec go : Expr.pexpr -> int array -> int = function
+    | Const c -> fun _ -> c
+    | Leaf name ->
+        let s = slot name in
+        fun env -> env.(s)
+    | Unop (Neg, a) ->
+        let fa = go a in
+        fun env -> -fa env
+    | Unop (Bnot, a) ->
+        let fa = go a in
+        fun env -> lnot (fa env)
+    | Binop (op, a, b) -> (
+        let fa = go a and fb = go b in
+        match op with
+        | Add -> fun env -> fa env + fb env
+        | Sub -> fun env -> fa env - fb env
+        | Mul -> fun env -> fa env * fb env
+        | Div -> fun env -> fa env / fb env
+        | Rem -> fun env -> fa env mod fb env
+        | And -> fun env -> fa env land fb env
+        | Or -> fun env -> fa env lor fb env
+        | Xor -> fun env -> fa env lxor fb env
+        | Shl -> fun env -> fa env lsl fb env
+        | Lshr -> fun env -> fa env lsr fb env)
+    | Cmp (op, a, b) -> (
+        let fa = go a and fb = go b in
+        match op with
+        | Eq -> fun env -> if fa env = fb env then 1 else 0
+        | Ne -> fun env -> if fa env <> fb env then 1 else 0
+        | Lt -> fun env -> if fa env < fb env then 1 else 0
+        | Le -> fun env -> if fa env <= fb env then 1 else 0)
+    | Ite (c, a, b) ->
+        let fc = go c and fa = go a and fb = go b in
+        fun env -> if fc env <> 0 then fa env else fb env
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Instruction compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spend ctx w =
+  ctx.instrs <- ctx.instrs + w;
+  ctx.remaining <- ctx.remaining - w;
+  if ctx.remaining < 0 then raise Interp.Budget_exhausted
+
+(* The function-call path needs to execute other compiled functions; tied
+   through a forward reference patched below. *)
+let exec_ref : (ctx -> cfunc -> int array -> int) ref =
+  ref (fun _ _ _ -> assert false)
+
+let compile_instr funcs slots pc (instr : Cfg.instr) : ctx -> int array -> int =
+  let w = Cfg.weight instr in
+  let slot name = Hashtbl.find slots name in
+  match instr with
+  | Cfg.Assign (x, e) ->
+      let fe = compile_expr slots e in
+      let sx = slot x and next = pc + 1 in
+      fun ctx env ->
+        spend ctx w;
+        env.(sx) <- fe env;
+        next
+  | Cfg.Load { dst; addr; width } ->
+      let fa = compile_expr slots addr in
+      let sd = slot dst and next = pc + 1 in
+      fun ctx env ->
+        spend ctx w;
+        let a = fa env in
+        ctx.hooks.Interp.on_access ~addr:a ~width ~write:false;
+        ctx.loads <- ctx.loads + 1;
+        env.(sd) <- Memory.read ctx.mem ~addr:a ~width;
+        next
+  | Cfg.Store { addr; value; width } ->
+      let fa = compile_expr slots addr and fv = compile_expr slots value in
+      let next = pc + 1 in
+      fun ctx env ->
+        spend ctx w;
+        let a = fa env in
+        ctx.hooks.Interp.on_access ~addr:a ~width ~write:true;
+        ctx.stores <- ctx.stores + 1;
+        ctx.mem <- Memory.write ctx.mem ~addr:a ~width (fv env);
+        next
+  | Cfg.Alloc { dst; bytes } ->
+      let sd = slot dst and next = pc + 1 in
+      fun ctx env ->
+        spend ctx w;
+        let mem', base = Memory.alloc ctx.mem ~bytes in
+        ctx.mem <- mem';
+        env.(sd) <- base;
+        next
+  | Cfg.Branch { cond; if_true; if_false; loop_head = _ } ->
+      let fc = compile_expr slots cond in
+      fun ctx env ->
+        spend ctx w;
+        if fc env <> 0 then if_true else if_false
+  | Cfg.Jump target ->
+      fun ctx _ ->
+        spend ctx w;
+        target
+  | Cfg.Call { dst; func; args } ->
+      let fargs = Array.of_list (List.map (compile_expr slots) args) in
+      let sd = match dst with Some d -> slot d | None -> -1 in
+      let next = pc + 1 in
+      let callee =
+        match Hashtbl.find_opt funcs func with
+        | Some c -> c
+        | None -> invalid_arg ("Compile: call to unknown function " ^ func)
+      in
+      fun ctx env ->
+        spend ctx w;
+        let argv = Array.map (fun f -> f env) fargs in
+        let v = !exec_ref ctx callee argv in
+        if sd >= 0 then env.(sd) <- v;
+        next
+  | Cfg.Return None ->
+      fun ctx _ ->
+        spend ctx w;
+        raise (Ret 0)
+  | Cfg.Return (Some e) ->
+      let fe = compile_expr slots e in
+      fun ctx env ->
+        spend ctx w;
+        raise (Ret (fe env))
+  | Cfg.Havoc { dst; input; hash } ->
+      let fi = compile_expr slots input in
+      let sd = slot dst and next = pc + 1 in
+      fun ctx env ->
+        spend ctx w;
+        let v = fi env in
+        spend ctx (ctx.hooks.Interp.hash_weight hash);
+        env.(sd) <- ctx.hooks.Interp.hash_apply hash v;
+        next
+
+let exec ctx (f : cfunc) argv =
+  if Array.length argv <> Array.length f.param_slots then
+    invalid_arg ("Compile: arity mismatch calling " ^ f.cf_name);
+  let env = Array.make f.nslots 0 in
+  Array.iteri (fun k s -> env.(s) <- argv.(k)) f.param_slots;
+  let pc = ref 0 in
+  try
+    while true do
+      pc := f.code.(!pc) ctx env
+    done;
+    assert false
+  with Ret v -> v
+
+let () = exec_ref := exec
+
+let program (p : Cfg.t) =
+  let funcs = Hashtbl.create 16 in
+  (* placeholders first so calls can resolve in one pass *)
+  Hashtbl.iter
+    (fun name (f : Cfg.func) ->
+      let slots = collect_vars f in
+      Hashtbl.replace funcs name
+        {
+          cf_name = name;
+          nslots = max 1 (Hashtbl.length slots);
+          param_slots =
+            Array.of_list (List.map (Hashtbl.find slots) f.params);
+          code = [||];
+        })
+    p.Cfg.funcs;
+  Hashtbl.iter
+    (fun name (f : Cfg.func) ->
+      let slots = collect_vars f in
+      let cf = Hashtbl.find funcs name in
+      cf.code <- Array.mapi (compile_instr funcs slots) f.body)
+    p.Cfg.funcs;
+  { funcs; entry = p.Cfg.entry }
+
+let call t ~mem ~hooks ?(budget = 10_000_000) fname args =
+  let f =
+    match Hashtbl.find_opt t.funcs fname with
+    | Some f -> f
+    | None -> invalid_arg ("Compile.call: unknown function " ^ fname)
+  in
+  let ctx =
+    { mem = !mem; hooks; instrs = 0; loads = 0; stores = 0; remaining = budget }
+  in
+  let ret = exec ctx f (Array.of_list args) in
+  mem := ctx.mem;
+  { Interp.ret; instrs = ctx.instrs; loads = ctx.loads; stores = ctx.stores }

@@ -1,0 +1,25 @@
+(** A closure-compiling NFIR executor.
+
+    Compiles each function once — variables resolved to integer slots,
+    expressions to nested closures — and then runs packets without any
+    per-instruction dispatch on syntax.  Semantically identical to
+    {!Interp} (a differential qcheck property in the test suite), several
+    times faster; the testbed DUT replays millions of packets through it.
+
+    Restrictions match {!Interp}: concrete values only, budget-guarded. *)
+
+type t
+
+val program : Cfg.t -> t
+(** Compile all functions. *)
+
+val call :
+  t ->
+  mem:int Memory.t ref ->
+  hooks:Interp.hooks ->
+  ?budget:int ->
+  string ->
+  int list ->
+  Interp.outcome
+(** Same contract as {!Interp.call}.
+    @raise Interp.Budget_exhausted when the instruction bound is hit. *)

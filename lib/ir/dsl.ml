@@ -1,0 +1,50 @@
+type e = Expr.pexpr
+
+let v name : e = Expr.Leaf name
+let i n : e = Expr.Const n
+let ( +: ) a b : e = Expr.Binop (Add, a, b)
+let ( -: ) a b : e = Expr.Binop (Sub, a, b)
+let ( *: ) a b : e = Expr.Binop (Mul, a, b)
+let ( /: ) a b : e = Expr.Binop (Div, a, b)
+let ( %: ) a b : e = Expr.Binop (Rem, a, b)
+let ( &: ) a b : e = Expr.Binop (And, a, b)
+let ( |: ) a b : e = Expr.Binop (Or, a, b)
+let ( ^: ) a b : e = Expr.Binop (Xor, a, b)
+let ( <<: ) a b : e = Expr.Binop (Shl, a, b)
+let ( >>: ) a b : e = Expr.Binop (Lshr, a, b)
+let ( =: ) a b : e = Expr.Cmp (Eq, a, b)
+let ( <>: ) a b : e = Expr.Cmp (Ne, a, b)
+let ( <: ) a b : e = Expr.Cmp (Lt, a, b)
+let ( <=: ) a b : e = Expr.Cmp (Le, a, b)
+let ( >: ) a b : e = Expr.Cmp (Lt, b, a)
+let ( >=: ) a b : e = Expr.Cmp (Le, b, a)
+let not_ a : e = Expr.Cmp (Eq, a, Expr.Const 0)
+let ( &&: ) a b : e = Expr.Binop (And, a, b)
+let ( ||: ) a b : e = Expr.Binop (Or, a, b)
+let ite c a b : e = Expr.Ite (c, a, b)
+let ( <-- ) name expr = Ast.Assign (name, expr)
+let load dst ~width addr = Ast.Load (dst, addr, width)
+let store addr ~width value = Ast.Store (addr, value, width)
+let load8 dst addr = load dst ~width:8 addr
+let store8 addr value = store addr ~width:8 value
+let load4 dst addr = load dst ~width:4 addr
+let store4 addr value = store addr ~width:4 value
+let load2 dst addr = load dst ~width:2 addr
+let store2 addr value = store addr ~width:2 value
+let load1 dst addr = load dst ~width:1 addr
+let store1 addr value = store addr ~width:1 value
+let alloc dst bytes = Ast.Alloc (dst, bytes)
+let if_ cond then_b else_b = Ast.If (cond, then_b, else_b)
+let when_ cond body = Ast.If (cond, body, [])
+let while_ cond body = Ast.While (cond, body)
+let break_ = Ast.Break
+let call dst f args = Ast.Call (Some dst, f, args)
+let call_ f args = Ast.Call (None, f, args)
+let ret expr = Ast.Return (Some expr)
+let ret_none = Ast.Return None
+let havoc dst ~input ~hash = Ast.Havoc (dst, input, hash)
+let func name params body = { Ast.name; params; body }
+
+let program ~name ~entry ?(regions = []) ?(heap_bytes = 64 * 1024 * 1024)
+    functions =
+  { Ast.name; entry; functions; regions; heap_bytes }

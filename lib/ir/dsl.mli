@@ -1,0 +1,95 @@
+(** Combinators for writing network functions in structured NFIR.
+
+    The DSL reads like a small C: expressions are built with suffixed infix
+    operators ([+:], [=:], ...), statements are values of {!Ast.stmt}, and
+    blocks are plain OCaml lists.  Example — count trailing zeroes:
+
+    {[
+      func "ctz" [ "x" ] [
+        "n" <-- i 0;
+        while_ ((v "x" &: i 1) =: i 0) [
+          "x" <-- v "x" >>: i 1;
+          "n" <-- v "n" +: i 1;
+        ];
+        ret (v "n");
+      ]
+    ]} *)
+
+type e = Expr.pexpr
+
+val v : string -> e
+(** Variable reference. *)
+
+val i : int -> e
+(** Integer literal. *)
+
+val ( +: ) : e -> e -> e
+val ( -: ) : e -> e -> e
+val ( *: ) : e -> e -> e
+val ( /: ) : e -> e -> e
+val ( %: ) : e -> e -> e
+val ( &: ) : e -> e -> e
+val ( |: ) : e -> e -> e
+val ( ^: ) : e -> e -> e
+val ( <<: ) : e -> e -> e
+val ( >>: ) : e -> e -> e
+
+val ( =: ) : e -> e -> e
+val ( <>: ) : e -> e -> e
+val ( <: ) : e -> e -> e
+val ( <=: ) : e -> e -> e
+val ( >: ) : e -> e -> e
+val ( >=: ) : e -> e -> e
+
+val not_ : e -> e
+(** Logical negation of a 0/1 value. *)
+
+val ( &&: ) : e -> e -> e
+(** Logical conjunction of 0/1 values (bitwise [&], both sides evaluated). *)
+
+val ( ||: ) : e -> e -> e
+
+val ite : e -> e -> e -> e
+
+val ( <-- ) : string -> e -> Ast.stmt
+
+val load : string -> width:int -> e -> Ast.stmt
+val store : e -> width:int -> e -> Ast.stmt
+val load8 : string -> e -> Ast.stmt
+val store8 : e -> e -> Ast.stmt
+val load4 : string -> e -> Ast.stmt
+val store4 : e -> e -> Ast.stmt
+val load2 : string -> e -> Ast.stmt
+val store2 : e -> e -> Ast.stmt
+val load1 : string -> e -> Ast.stmt
+val store1 : e -> e -> Ast.stmt
+
+val alloc : string -> int -> Ast.stmt
+val if_ : e -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val when_ : e -> Ast.stmt list -> Ast.stmt
+(** [when_ c body] is [if_ c body \[\]]. *)
+
+val while_ : e -> Ast.stmt list -> Ast.stmt
+val break_ : Ast.stmt
+val call : string -> string -> e list -> Ast.stmt
+(** [call dst f args] assigns the result to [dst]. *)
+
+val call_ : string -> e list -> Ast.stmt
+(** Call for effect only. *)
+
+val ret : e -> Ast.stmt
+val ret_none : Ast.stmt
+
+val havoc : string -> input:e -> hash:string -> Ast.stmt
+(** The [castan_havoc(input, output, expr)] annotation of §4. *)
+
+val func : string -> string list -> Ast.stmt list -> Ast.fdef
+
+val program :
+  name:string ->
+  entry:string ->
+  ?regions:Memory.spec list ->
+  ?heap_bytes:int ->
+  Ast.fdef list ->
+  Ast.program
+(** Default heap is 64 MiB. *)

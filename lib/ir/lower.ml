@@ -1,0 +1,103 @@
+(* Lowering uses a mutable buffer of instructions with back-patching of
+   branch targets: [emit] appends and returns the pc; forward targets are
+   patched once known. *)
+
+type ctx = {
+  buf : Cfg.instr option array ref;
+  mutable len : int;
+  mutable break_patches : int list;  (* pcs of Jumps awaiting the loop exit *)
+}
+
+let emit ctx instr =
+  let cap = Array.length !(ctx.buf) in
+  if ctx.len = cap then begin
+    let bigger = Array.make (cap * 2) None in
+    Array.blit !(ctx.buf) 0 bigger 0 cap;
+    ctx.buf := bigger
+  end;
+  !(ctx.buf).(ctx.len) <- Some instr;
+  ctx.len <- ctx.len + 1;
+  ctx.len - 1
+
+let patch ctx pc instr = !(ctx.buf).(pc) <- Some instr
+
+let rec lower_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (x, e) -> ignore (emit ctx (Cfg.Assign (x, e)))
+  | Ast.Load (dst, addr, width) ->
+      ignore (emit ctx (Cfg.Load { dst; addr; width }))
+  | Ast.Store (addr, value, width) ->
+      ignore (emit ctx (Cfg.Store { addr; value; width }))
+  | Ast.Alloc (dst, bytes) -> ignore (emit ctx (Cfg.Alloc { dst; bytes }))
+  | Ast.Call (dst, func, args) ->
+      ignore (emit ctx (Cfg.Call { dst; func; args }))
+  | Ast.Return e -> ignore (emit ctx (Cfg.Return e))
+  | Ast.Havoc (dst, input, hash) ->
+      ignore (emit ctx (Cfg.Havoc { dst; input; hash }))
+  | Ast.Break ->
+      let pc = emit ctx (Cfg.Jump (-1)) in
+      ctx.break_patches <- pc :: ctx.break_patches
+  | Ast.If (cond, then_b, else_b) ->
+      let br = emit ctx (Cfg.Jump (-1)) (* placeholder for the branch *) in
+      List.iter (lower_stmt ctx) then_b;
+      if else_b = [] then begin
+        let exit_pc = ctx.len in
+        patch ctx br
+          (Cfg.Branch
+             { cond; if_true = br + 1; if_false = exit_pc; loop_head = false })
+      end
+      else begin
+        let skip = emit ctx (Cfg.Jump (-1)) in
+        let else_start = ctx.len in
+        List.iter (lower_stmt ctx) else_b;
+        let exit_pc = ctx.len in
+        patch ctx br
+          (Cfg.Branch
+             { cond; if_true = br + 1; if_false = else_start; loop_head = false });
+        patch ctx skip (Cfg.Jump exit_pc)
+      end
+  | Ast.While (cond, body) ->
+      let saved_breaks = ctx.break_patches in
+      ctx.break_patches <- [];
+      let head = emit ctx (Cfg.Jump (-1)) in
+      List.iter (lower_stmt ctx) body;
+      ignore (emit ctx (Cfg.Jump head));
+      let exit_pc = ctx.len in
+      patch ctx head
+        (Cfg.Branch
+           { cond; if_true = head + 1; if_false = exit_pc; loop_head = true });
+      List.iter (fun pc -> patch ctx pc (Cfg.Jump exit_pc)) ctx.break_patches;
+      ctx.break_patches <- saved_breaks
+
+let func (f : Ast.fdef) : Cfg.func =
+  let ctx = { buf = ref (Array.make 64 None); len = 0; break_patches = [] } in
+  List.iter (lower_stmt ctx) f.body;
+  (* Functions may fall off the end; make the return explicit. *)
+  (match if ctx.len = 0 then None else !(ctx.buf).(ctx.len - 1) with
+  | Some (Cfg.Return _) -> ()
+  | _ -> ignore (emit ctx (Cfg.Return None)));
+  let body =
+    Array.init ctx.len (fun i ->
+        match !(ctx.buf).(i) with
+        | Some instr -> instr
+        | None -> assert false)
+  in
+  { Cfg.fname = f.name; params = f.params; body }
+
+let program (p : Ast.program) : Cfg.t =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (fdef : Ast.fdef) ->
+      if Hashtbl.mem funcs fdef.Ast.name then
+        invalid_arg ("Lower.program: duplicate function " ^ fdef.Ast.name);
+      Hashtbl.replace funcs fdef.Ast.name (func fdef))
+    p.functions;
+  if not (Hashtbl.mem funcs p.entry) then
+    invalid_arg ("Lower.program: missing entry function " ^ p.entry);
+  {
+    Cfg.name = p.name;
+    funcs;
+    entry = p.entry;
+    regions = p.regions;
+    heap_bytes = p.heap_bytes;
+  }

@@ -1,0 +1,10 @@
+(** Lowering structured NFIR ({!Ast}) to the flat instruction form ({!Cfg}).
+
+    [While] heads become [Branch] instructions flagged [loop_head]; [Break]
+    becomes a [Jump] to the loop exit.  The translation is
+    straight-line-faithful: one flat instruction per structured statement
+    (plus explicit jumps), so instruction counts of lowered code are
+    comparable to compiler output. *)
+
+val func : Ast.fdef -> Cfg.func
+val program : Ast.program -> Cfg.t

@@ -1,0 +1,136 @@
+module Imap = Map.Make (Int)
+
+type region = {
+  name : string;
+  base : int;
+  elem_width : int;
+  count : int;
+  init : int -> int;
+}
+
+let region_size r = r.elem_width * r.count
+let region_end r = r.base + region_size r
+
+type spec = {
+  s_name : string;
+  s_elem_width : int;
+  s_count : int;
+  s_init : int -> int;
+}
+
+let array_spec ~name ~elem_width ~count ?(init = fun _ -> 0) () =
+  assert (elem_width = 1 || elem_width = 2 || elem_width = 4 || elem_width = 8);
+  assert (count > 0);
+  { s_name = name; s_elem_width = elem_width; s_count = count; s_init = init }
+
+type 'v t = {
+  regions : region array;  (* sorted by base *)
+  overlay : 'v Imap.t;
+  inject : int -> 'v;
+  heap_base : int;
+  heap_next : int;
+  heap_end : int;
+}
+
+let start_address = 0x4000_0000 (* 1 GiB *)
+let page = 4096
+
+let round_up v align = (v + align - 1) / align * align
+
+let layout regions =
+  let next = ref start_address in
+  List.map
+    (fun spec ->
+      let base = !next in
+      let r =
+        {
+          name = spec.s_name;
+          base;
+          elem_width = spec.s_elem_width;
+          count = spec.s_count;
+          init = spec.s_init;
+        }
+      in
+      next := round_up (region_end r) page;
+      (spec.s_name, r))
+    regions
+
+let create ~regions ~heap_bytes ~inject =
+  let placed = List.map snd (layout regions) in
+  let heap_base =
+    match List.rev placed with
+    | [] -> start_address
+    | last :: _ -> round_up (region_end last) page
+  in
+  let heap =
+    {
+      name = "heap";
+      base = heap_base;
+      elem_width = 8;
+      count = heap_bytes / 8;
+      init = (fun _ -> 0);
+    }
+  in
+  {
+    regions = Array.of_list (placed @ [ heap ]);
+    overlay = Imap.empty;
+    inject;
+    heap_base;
+    heap_next = heap_base;
+    heap_end = region_end heap;
+  }
+
+let regions t = Array.to_list t.regions
+
+let find_region t addr =
+  let n = Array.length t.regions in
+  let lo = ref 0 and hi = ref (n - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.regions.(mid) in
+    if addr < r.base then hi := mid - 1
+    else if addr >= region_end r then lo := mid + 1
+    else begin
+      found := Some r;
+      lo := !hi + 1
+    end
+  done;
+  match !found with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Memory.find_region: 0x%x out of bounds" addr)
+
+let region_named t name =
+  match Array.to_list t.regions |> List.find_opt (fun r -> r.name = name) with
+  | Some r -> r
+  | None -> raise Not_found
+
+let check_access r addr width =
+  if width <> r.elem_width then
+    invalid_arg
+      (Printf.sprintf "Memory: %d-byte access in region %s (elem width %d)"
+         width r.name r.elem_width);
+  if (addr - r.base) mod r.elem_width <> 0 then
+    invalid_arg
+      (Printf.sprintf "Memory: misaligned access 0x%x in region %s" addr r.name)
+
+let read t ~addr ~width =
+  let r = find_region t addr in
+  check_access r addr width;
+  match Imap.find_opt addr t.overlay with
+  | Some v -> v
+  | None -> t.inject (r.init ((addr - r.base) / r.elem_width))
+
+let write t ~addr ~width v =
+  let r = find_region t addr in
+  check_access r addr width;
+  { t with overlay = Imap.add addr v t.overlay }
+
+let alloc t ~bytes =
+  let bytes = round_up (max bytes 1) 64 in
+  if t.heap_next + bytes > t.heap_end then
+    invalid_arg "Memory.alloc: heap exhausted";
+  ({ t with heap_next = t.heap_next + bytes }, t.heap_next)
+
+let heap_used t = t.heap_next - t.heap_base
+let written_cells t = Imap.cardinal t.overlay

@@ -1,0 +1,73 @@
+(** The NFIR memory model.
+
+    Memory is a set of {e regions} laid out in a byte-addressed virtual
+    address space, plus a heap serving [alloc] instructions.  A region is an
+    array of fixed-width elements with a {e lazy initializer}: reads that were
+    never overwritten are served by calling [init] on the element index.  This
+    is what makes gigabyte-scale NF tables (the 2^27-entry direct-lookup LPM
+    array) representable without materializing them.
+
+    Written values live in a persistent overlay map, so snapshotting memory
+    for symbolic-state forking is O(1).  The value type is polymorphic: the
+    concrete interpreter instantiates ['v = int], the symbolic engine
+    ['v = Expr.sexpr]. *)
+
+type region = {
+  name : string;
+  base : int;  (** assigned by {!create}; byte address *)
+  elem_width : int;  (** bytes per element: 1, 2, 4 or 8 *)
+  count : int;  (** number of elements *)
+  init : int -> int;  (** element index -> initial value *)
+}
+
+val region_size : region -> int
+(** Size in bytes. *)
+
+val region_end : region -> int
+(** One past the last byte. *)
+
+type spec = { s_name : string; s_elem_width : int; s_count : int; s_init : int -> int }
+(** A region before address assignment. *)
+
+val array_spec : name:string -> elem_width:int -> count:int -> ?init:(int -> int) -> unit -> spec
+(** Convenience constructor; default initializer is all-zeroes. *)
+
+val layout : spec list -> (string * region) list
+(** The deterministic address assignment {!create} uses (4KiB-aligned,
+    sequential from 1GiB).  Exposed so program builders can embed region base
+    addresses as constants, exactly like a linker resolving globals. *)
+
+type 'v t
+
+val create : regions:spec list -> heap_bytes:int -> inject:(int -> 'v) -> 'v t
+(** Lays regions out sequentially (4KiB-aligned, starting at 1GiB) followed by
+    the heap region. [inject] lifts initializer values into ['v]. *)
+
+val regions : 'v t -> region list
+(** All regions, including the heap, sorted by base address. *)
+
+val find_region : 'v t -> int -> region
+(** [find_region t addr] returns the region containing byte [addr].
+    @raise Invalid_argument on an out-of-bounds address. *)
+
+val region_named : 'v t -> string -> region
+(** @raise Not_found if no region has that name. *)
+
+val read : 'v t -> addr:int -> width:int -> 'v
+(** [read t ~addr ~width] requires [addr] to be element-aligned in its region
+    and [width] to equal the region's element width.
+    @raise Invalid_argument otherwise. *)
+
+val write : 'v t -> addr:int -> width:int -> 'v -> 'v t
+(** Same addressing discipline as {!read}; persistent update. *)
+
+val alloc : 'v t -> bytes:int -> 'v t * int
+(** Bump allocation from the heap, rounded up to 64-byte (cache-line)
+    multiples so distinct nodes never share a line.
+    @raise Invalid_argument when the heap is exhausted. *)
+
+val heap_used : 'v t -> int
+(** Bytes currently allocated from the heap. *)
+
+val written_cells : 'v t -> int
+(** Number of overlay cells (diagnostics). *)

@@ -1,0 +1,53 @@
+type route = { prefix : int; len : int; next_hop : int }
+
+type t = {
+  routes32 : route list;
+  routes27 : route list;
+  vip : int;
+  n_backends : int;
+  chain_buckets : int;
+  ring_entries : int;
+}
+
+let mask_of_len len = if len = 0 then 0 else -1 lsl (32 - len) land 0xFFFFFFFF
+
+let route_matches r ip = ip land mask_of_len r.len = r.prefix
+
+(* 8 overlapping families: 10.f.*, each /8 containing a /16 containing a /24
+   containing the most specific route. *)
+let family ~longest f =
+  let b1 = 10 + f in
+  let p8 = b1 lsl 24 in
+  let p16 = p8 lor ((f + 1) lsl 16) in
+  let p24 = p16 lor ((f + 2) lsl 8) in
+  let deepest = p24 lor (f + 3) in
+  [
+    { prefix = p8; len = 8; next_hop = (f * 4) + 1 };
+    { prefix = p16; len = 16; next_hop = (f * 4) + 2 };
+    { prefix = p24; len = 24; next_hop = (f * 4) + 3 };
+    {
+      prefix = deepest land mask_of_len longest;
+      len = longest;
+      next_hop = (f * 4) + 4;
+    };
+  ]
+
+let make_routes ~longest = List.concat_map (family ~longest) (List.init 8 Fun.id)
+
+let default =
+  {
+    routes32 = make_routes ~longest:32;
+    routes27 = make_routes ~longest:27;
+    vip = 0xC0A80101 (* 192.168.1.1 *);
+    n_backends = 16;
+    chain_buckets = 65_536;
+    ring_entries = 1 lsl 24;
+  }
+
+let lpm_lookup routes ip =
+  List.fold_left
+    (fun (best_len, best_nh) r ->
+      if route_matches r ip && r.len >= best_len then (r.len, r.next_hop)
+      else (best_len, best_nh))
+    (-1, 0) routes
+  |> snd

@@ -1,0 +1,23 @@
+open Ir.Dsl
+
+let name = "parse_headers"
+
+let params = [ "src_ip"; "dst_ip"; "proto"; "src_port"; "dst_port" ]
+
+(* IPv4-checksum-flavoured 16-bit folding plus a TTL rewrite: about 20
+   retired instructions of per-packet header work. *)
+let fdef =
+  func name params
+    [
+      "s" <-- (v "src_ip" >>: i 16) +: (v "src_ip" &: i 0xFFFF);
+      "s" <-- v "s" +: (v "dst_ip" >>: i 16) +: (v "dst_ip" &: i 0xFFFF);
+      "s" <-- v "s" +: (v "proto" <<: i 8) +: v "src_port" +: v "dst_port";
+      (* end-around carry folds *)
+      "s" <-- (v "s" &: i 0xFFFF) +: (v "s" >>: i 16);
+      "s" <-- (v "s" &: i 0xFFFF) +: (v "s" >>: i 16);
+      (* TTL decrement adjusts the checksum by a constant *)
+      "s" <-- ((v "s" +: i 0x0100) &: i 0xFFFF);
+      ret (v "s");
+    ]
+
+let call_args = List.map v params

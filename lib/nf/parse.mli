@@ -1,0 +1,18 @@
+(** Shared packet-ingest prologue.
+
+    Real NFs spend a fixed budget of instructions per packet on header
+    validation and checksum adjustment before touching their data
+    structures.  This function models that cost: branch-free arithmetic over
+    the header fields (so it adds instructions, not execution paths),
+    returning a folded "checksum" the NFs mix into their result to keep the
+    computation live. *)
+
+val fdef : Ir.Ast.fdef
+(** [parse_headers(src_ip, dst_ip, proto, src_port, dst_port)]. *)
+
+val name : string
+
+(** The five packet-field parameter names, in order. *)
+val params : string list
+val call_args : Ir.Dsl.e list
+(** The standard argument list (the entry function's field parameters). *)

@@ -1,0 +1,30 @@
+let builders : (string * (Config.t -> Nf_def.t)) list =
+  [
+    ("lb-hash-table", fun c -> Lb.make c (Flowtable_chain.make c));
+    ("lb-hash-ring", fun c -> Lb.make c (Flowtable_ring.make c));
+    ("lb-red-black-tree", fun c -> Lb.make c (Flowtable_rb.make c));
+    ("lb-unbalanced-tree", fun c -> Lb.make c (Flowtable_bst.make c));
+    ("lpm-btrie", fun c -> Lpm_trie.make c);
+    ("lpm-1stage-dl", fun c -> Lpm_direct.make c);
+    ("lpm-2stage-dl", fun c -> Lpm_dpdk.make c);
+    ("nat-hash-table", fun c -> Nat.make c (Flowtable_chain.make c));
+    ("nat-hash-ring", fun c -> Nat.make c (Flowtable_ring.make c));
+    ("nat-red-black-tree", fun c -> Nat.make c (Flowtable_rb.make c));
+    ("nat-unbalanced-tree", fun c -> Nat.make c (Flowtable_bst.make c));
+  ]
+
+let names = List.map fst builders @ [ "nop" ]
+
+let all ?(cfg = Config.default) () = List.map (fun (_, b) -> b cfg) builders
+
+let nop ?(cfg = Config.default) () = Nop.make cfg
+
+let find ?(cfg = Config.default) name =
+  if name = "nop" then nop ~cfg ()
+  else
+    match List.assoc_opt name builders with
+    | Some b -> b cfg
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Registry.find: unknown NF %s (known: %s)" name
+             (String.concat ", " names))

@@ -1,0 +1,16 @@
+(** Algebraic simplification of symbolic expressions.
+
+    Keeps the expressions produced by symbolic execution small: constant
+    folding, neutral/absorbing elements, double negation, comparison
+    canonicalization.  Semantics-preserving: for every leaf assignment the
+    simplified expression evaluates to the same value (a qcheck property in
+    the test suite). *)
+
+val expr : Ir.Expr.sexpr -> Ir.Expr.sexpr
+
+val negate : Ir.Expr.sexpr -> Ir.Expr.sexpr
+(** Logical negation of a 0/1-valued expression, pushed through comparisons
+    where possible ([negate (a < b)] is [b <= a]). *)
+
+val is_boolean : Ir.Expr.sexpr -> bool
+(** Conservatively recognizes 0/1-valued expressions. *)

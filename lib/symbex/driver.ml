@@ -1,0 +1,125 @@
+type config = {
+  n_packets : int;
+  strategy : Searcher.strategy;
+  costs : Costs.t;
+  m : int;
+  hash_bits : string -> int;
+  packet_budget : int;
+  instr_budget : int;
+  time_budget : float;
+  max_completed : int;
+}
+
+let default_config ?(n_packets = 30) costs =
+  {
+    n_packets;
+    strategy = Searcher.Castan;
+    costs;
+    m = 2;
+    hash_bits = (fun _ -> 16);
+    packet_budget = 100_000;
+    instr_budget = 5_000_000;
+    time_budget = 30.0;
+    max_completed = 32;
+  }
+
+type stats = {
+  explored : int;
+  forks : int;
+  killed : int;
+  executed_instrs : int;
+  wall_time : float;
+}
+
+type result = {
+  best : State.t option;
+  ranked : State.t list;
+  completed : State.t list;
+  annot : Cost.t;
+  stats : stats;
+}
+
+let run program ~mem ~cache config =
+  let annot = Cost.annotate ~m:config.m config.costs program in
+  let searcher = Searcher.create config.strategy ~annot in
+  let exec_cfg =
+    {
+      Exec.costs = config.costs;
+      hash_bits = config.hash_bits;
+      packet_budget = config.packet_budget;
+    }
+  in
+  let start = Unix.gettimeofday () in
+  let explored = ref 0
+  and forks = ref 0
+  and killed = ref 0
+  and executed = ref 0 in
+  let completed = ref [] and n_completed = ref 0 in
+  let out_of_budget () =
+    !executed >= config.instr_budget
+    || Unix.gettimeofday () -. start > config.time_budget
+    || !n_completed >= config.max_completed
+  in
+  (* Execute one state until it forks at a plain branch, finishes a packet,
+     or dies; loop-head forks continue greedily on the "one more iteration"
+     side (§3.4). *)
+  let rec advance s slice =
+    if slice = 0 then Searcher.add searcher s
+    else
+      match Exec.step exec_cfg s with
+      | Exec.Running s' ->
+          incr executed;
+          advance s' (slice - 1)
+      | Exec.Forked { preferred; deferred; at_loop_head } ->
+          incr executed;
+          incr forks;
+          List.iter (Searcher.add searcher) deferred;
+          if at_loop_head then advance preferred (slice - 1)
+          else Searcher.add searcher preferred
+      | Exec.Packet_done s' ->
+          incr executed;
+          let s'' = State.start_packet s' in
+          if s''.State.finished then begin
+            completed := s'' :: !completed;
+            incr n_completed
+          end
+          else Searcher.add searcher s''
+      | Exec.Killed (_, _) ->
+          incr executed;
+          incr killed
+  in
+  let initial = State.initial program ~cache ~n_packets:config.n_packets ~mem in
+  Searcher.add searcher initial;
+  let slice = 20_000 in
+  let rec loop () =
+    if out_of_budget () then ()
+    else
+      match Searcher.pop searcher with
+      | None -> ()
+      | Some s ->
+          incr explored;
+          advance s slice;
+          loop ()
+  in
+  loop ();
+  let pending = Searcher.drain searcher in
+  let score s = State.priority s annot in
+  let ranked =
+    List.stable_sort
+      (fun a b -> compare (score b) (score a))
+      (!completed @ pending)
+  in
+  {
+    best = (match ranked with [] -> None | s :: _ -> Some s);
+    ranked;
+    completed = !completed;
+    annot;
+    stats =
+      {
+        explored = !explored;
+        forks = !forks;
+        killed = !killed;
+        executed_instrs = !executed;
+        wall_time = Unix.gettimeofday () -. start;
+      };
+  }

@@ -1,0 +1,42 @@
+(** The analysis driver: explore, rank, and return the most expensive states.
+
+    Runs the engine over [n_packets] symbolic packets, following the paper's
+    §3.1 loop: always work on the most promising state (per the searcher),
+    greedily finish loop iterations, and when the budget runs out return the
+    state with the highest cost together with the ranked runners-up.  The
+    caller (the CASTAN core) then solves the winner's path constraint and
+    reconciles its havocs into a concrete workload. *)
+
+type config = {
+  n_packets : int;
+  strategy : Searcher.strategy;
+  costs : Costs.t;
+  m : int;  (** loop bound for potential-cost annotation *)
+  hash_bits : string -> int;
+  packet_budget : int;  (** raw instructions per packet per state *)
+  instr_budget : int;  (** total executed instructions across all states *)
+  time_budget : float;  (** seconds of wall time *)
+  max_completed : int;  (** stop after this many full-length paths *)
+}
+
+val default_config : ?n_packets:int -> Costs.t -> config
+(** 30 packets, castan searcher, M = 2, 5M total instructions, 30s. *)
+
+type stats = {
+  explored : int;  (** states whose execution advanced at least once *)
+  forks : int;
+  killed : int;
+  executed_instrs : int;
+  wall_time : float;
+}
+
+type result = {
+  best : State.t option;  (** highest-cost state seen (complete or not) *)
+  ranked : State.t list;  (** all surviving states, best first *)
+  completed : State.t list;  (** states that processed every packet *)
+  annot : Cost.t;
+  stats : stats;
+}
+
+val run :
+  Ir.Cfg.t -> mem:Ir.Expr.sexpr Ir.Memory.t -> cache:Cache.Model.t -> config -> result

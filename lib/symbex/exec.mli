@@ -1,0 +1,35 @@
+(** The symbolic-execution stepper: NFIR "analysis build" semantics.
+
+    One call executes the current instruction of a state.  Symbolic branch
+    conditions fork (both outcomes feasibility-checked against the path
+    constraint); symbolic pointers are concretized adversarially by the cache
+    model; [Havoc] replaces hash outputs by fresh symbols and records the
+    pair for reconciliation. *)
+
+type config = {
+  costs : Costs.t;
+  hash_bits : string -> int;  (** output width of a hash, for fresh symbols *)
+  packet_budget : int;
+      (** max raw instructions per packet; guards against loops the loop
+          bound cannot see *)
+}
+
+val default_config : ?packet_budget:int -> Costs.t -> config
+(** Hash widths default to 16 bits; packet budget to 100,000. *)
+
+type fork = {
+  preferred : State.t;
+      (** at a loop head, the "one more iteration" outcome (§3.4) *)
+  deferred : State.t list;
+  at_loop_head : bool;
+}
+
+type step_result =
+  | Running of State.t
+  | Forked of fork
+  | Packet_done of State.t  (** the entry function returned *)
+  | Killed of State.t * string  (** infeasible branch, budget, or fault *)
+
+val step : config -> State.t -> step_result
+(** @raise Invalid_argument on malformed programs (undefined variables,
+    arity mismatches). *)

@@ -1,0 +1,81 @@
+type strategy = Castan | Dfs | Bfs | Random of int
+
+let strategy_name = function
+  | Castan -> "castan"
+  | Dfs -> "dfs"
+  | Bfs -> "bfs"
+  | Random _ -> "random"
+
+module Pq = Map.Make (Int)
+
+type impl =
+  | Prio of State.t list Pq.t ref  (* key: priority; pop max *)
+  | Stack of State.t list ref
+  | Queue of State.t Queue.t
+  | Rand of State.t list ref * Util.Rng.t
+
+type t = { impl : impl; annot : Cost.t; mutable count : int }
+
+let create strategy ~annot =
+  let impl =
+    match strategy with
+    | Castan -> Prio (ref Pq.empty)
+    | Dfs -> Stack (ref [])
+    | Bfs -> Queue (Queue.create ())
+    | Random seed -> Rand (ref [], Util.Rng.create seed)
+  in
+  { impl; annot; count = 0 }
+
+let add t s =
+  t.count <- t.count + 1;
+  match t.impl with
+  | Prio pq ->
+      let key = State.priority s t.annot in
+      let cur = match Pq.find_opt key !pq with Some l -> l | None -> [] in
+      pq := Pq.add key (s :: cur) !pq
+  | Stack l -> l := s :: !l
+  | Queue q -> Queue.push s q
+  | Rand (l, _) -> l := s :: !l
+
+let pop t =
+  let result =
+    match t.impl with
+    | Prio pq -> (
+        match Pq.max_binding_opt !pq with
+        | None -> None
+        | Some (key, states) -> (
+            match states with
+            | [] ->
+                pq := Pq.remove key !pq;
+                None
+            | [ s ] ->
+                pq := Pq.remove key !pq;
+                Some s
+            | s :: rest ->
+                pq := Pq.add key rest !pq;
+                Some s))
+    | Stack l -> (
+        match !l with
+        | [] -> None
+        | s :: rest ->
+            l := rest;
+            Some s)
+    | Queue q -> if Queue.is_empty q then None else Some (Queue.pop q)
+    | Rand (l, rng) -> (
+        match !l with
+        | [] -> None
+        | states ->
+            let n = List.length states in
+            let k = Util.Rng.int rng n in
+            let picked = List.nth states k in
+            l := List.filteri (fun i _ -> i <> k) states;
+            Some picked)
+  in
+  (match result with Some _ -> t.count <- t.count - 1 | None -> ());
+  result
+
+let size t = t.count
+
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some s -> go (s :: acc) in
+  go []

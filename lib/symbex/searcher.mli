@@ -1,0 +1,25 @@
+(** State-selection strategies (KLEE "searchers", §4).
+
+    CASTAN's searcher orders pending states by estimated cycles-per-packet
+    (current + potential cost) and explores the most expensive first.  DFS,
+    BFS and random searchers are provided as ablation baselines for the
+    directed-search experiment. *)
+
+type strategy =
+  | Castan  (** max [current_cost + potential] first *)
+  | Dfs
+  | Bfs
+  | Random of int  (** seed *)
+
+val strategy_name : strategy -> string
+
+type t
+
+val create : strategy -> annot:Cost.t -> t
+val add : t -> State.t -> unit
+val pop : t -> State.t option
+val size : t -> int
+
+val drain : t -> State.t list
+(** Removes and returns all pending states (used at budget exhaustion to
+    rank incomplete states against completed ones). *)

@@ -1,0 +1,134 @@
+module Smap = Map.Make (String)
+
+type metrics = {
+  instrs : int;
+  loads : int;
+  stores : int;
+  l3_misses : int;
+  cycles : int;
+}
+
+let zero_metrics = { instrs = 0; loads = 0; stores = 0; l3_misses = 0; cycles = 0 }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf "instrs=%d loads=%d stores=%d l3miss=%d cycles=%d"
+    m.instrs m.loads m.stores m.l3_misses m.cycles
+
+type frame = {
+  func : Ir.Cfg.func;
+  pc : int;
+  env : Ir.Expr.sexpr Smap.t;
+  ret_to : string option;
+}
+
+type t = {
+  program : Ir.Cfg.t;
+  frame : frame;
+  stack : frame list;
+  mem : Ir.Expr.sexpr Ir.Memory.t;
+  pcs : Ir.Expr.sexpr list;
+  cache : Cache.Model.t;
+  pkt : int;
+  n_packets : int;
+  finished : bool;
+  done_metrics : metrics list;
+  cur : metrics;
+  havocs : (int * string * Ir.Expr.sexpr * Ir.Expr.sym) list;
+  steps : int;
+  id : int;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let packet_sym pkt field : Ir.Expr.sexpr = Leaf (Ir.Expr.Pkt { pkt; field })
+
+let field_of_param name =
+  match
+    List.find_opt
+      (fun f -> Ir.Expr.field_name f = name)
+      Ir.Expr.all_fields
+  with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        ("State: entry parameter '" ^ name ^ "' is not a packet field")
+
+let entry_frame program pkt =
+  let f = Ir.Cfg.entry_func program in
+  let env =
+    List.fold_left
+      (fun env param ->
+        Smap.add param (packet_sym pkt (field_of_param param)) env)
+      Smap.empty f.params
+  in
+  { func = f; pc = 0; env; ret_to = None }
+
+let initial program ~cache ~n_packets ~mem =
+  {
+    program;
+    frame = entry_frame program 0;
+    stack = [];
+    mem;
+    pcs = [];
+    cache;
+    pkt = 0;
+    n_packets;
+    finished = false;
+    done_metrics = [];
+    cur = zero_metrics;
+    havocs = [];
+    steps = 0;
+    id = fresh_id ();
+  }
+
+let start_packet t =
+  let done_metrics = t.cur :: t.done_metrics in
+  if t.pkt + 1 >= t.n_packets then
+    { t with done_metrics; cur = zero_metrics; finished = true; steps = 0 }
+  else
+    {
+      t with
+      frame = entry_frame t.program (t.pkt + 1);
+      stack = [];
+      pkt = t.pkt + 1;
+      done_metrics;
+      cur = zero_metrics;
+      steps = 0;
+      id = t.id;
+    }
+
+let current_cost t =
+  List.fold_left (fun acc m -> acc + m.cycles) t.cur.cycles t.done_metrics
+
+let potential t annot =
+  if t.finished then 0
+  else
+    let here =
+      Cost.to_return annot ~func:t.frame.func.Ir.Cfg.fname ~pc:t.frame.pc
+    in
+    let stack =
+      List.fold_left
+        (fun acc fr ->
+          acc + Cost.to_return annot ~func:fr.func.Ir.Cfg.fname ~pc:fr.pc)
+        0 t.stack
+    in
+    let remaining_packets = t.n_packets - t.pkt - 1 in
+    here + stack
+    + (remaining_packets * Cost.full_cost annot t.program.Ir.Cfg.entry)
+
+let priority t annot = current_cost t + potential t annot
+
+let all_metrics t =
+  let completed = List.rev t.done_metrics in
+  if t.finished then completed else completed @ [ t.cur ]
+
+let pp ppf t =
+  Format.fprintf ppf "state#%d pkt=%d/%d %s pc=%s:%d cost=%d pcs=%d" t.id
+    t.pkt t.n_packets
+    (if t.finished then "done" else "live")
+    t.frame.func.Ir.Cfg.fname t.frame.pc (current_cost t)
+    (List.length t.pcs)

@@ -1,0 +1,46 @@
+(** The device under test: one NF running over the simulated machine.
+
+    Per packet, the DUT models the full DPDK receive/transmit path — a fixed
+    instruction/cycle overhead, a descriptor-ring access, and a DMA write
+    landing the frame in a rotating mbuf pool (which costs the mandatory
+    DRAM access the paper discusses under DDIO) — then interprets the NF
+    concretely, sending every data-structure access through the cache
+    hierarchy and charging per-level latencies. *)
+
+type t
+
+val create :
+  ?slice_seed:int -> ?vmem_seed:int -> ?geom:Cache.Geometry.t ->
+  ?prefetch:bool -> ?ddio:bool -> Nf.Nf_def.t -> t
+(** A fresh DUT: cold caches, empty flow state.  [prefetch] enables the
+    next-line prefetcher; [ddio] makes the NIC's DMA write allocate into the
+    cache instead of invalidating (Intel Data Direct I/O) — both off by
+    default, matching the paper's model; the ablation experiments turn them
+    on. *)
+
+type sample = {
+  cycles : int;  (** total, including the DPDK path *)
+  instrs : int;  (** instructions retired, including the DPDK path *)
+  l3_misses : int;  (** DRAM accesses *)
+  ret : int;  (** the NF's verdict for the packet *)
+}
+
+val process : t -> Nf.Packet.t -> sample
+
+val replay : t -> Workload.t -> samples:int -> sample array
+(** Replays the workload (looping as needed) for [samples] packets. *)
+
+val overhead_instrs : int
+(** The DPDK/driver path: 270 instructions... *)
+
+val overhead_cycles : int
+(** ...and 640 cycles per packet (the mandatory mbuf DRAM access adds the
+    rest), calibrated so the NOP NF reproduces the
+    paper's baselines (271 instructions retired, ≈3.45 Mpps). *)
+
+val geometry : t -> Cache.Geometry.t
+val nf : t -> Nf.Nf_def.t
+
+val machine : t -> Cache.Probe.machine
+(** The underlying simulated machine (exposed for the oracle cache model and
+    diagnostics). *)

@@ -1,0 +1,124 @@
+(* Classic libpcap format, little-endian, linktype 1 (Ethernet). *)
+
+let magic = 0xA1B2C3D4
+let frame_len = 60
+let eth_header = 14
+let ip_header = 20
+
+let set_u16le b off v =
+  Bytes.set_uint8 b off (v land 0xFF);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xFF)
+
+let set_u32le b off v =
+  set_u16le b off (v land 0xFFFF);
+  set_u16le b (off + 2) ((v lsr 16) land 0xFFFF)
+
+let set_u16be b off v =
+  Bytes.set_uint8 b off ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 1) (v land 0xFF)
+
+let set_u32be b off v =
+  set_u16be b off ((v lsr 16) land 0xFFFF);
+  set_u16be b (off + 2) (v land 0xFFFF)
+
+let get_u16le b off = Bytes.get_uint8 b off lor (Bytes.get_uint8 b (off + 1) lsl 8)
+let get_u32le b off = get_u16le b off lor (get_u16le b (off + 2) lsl 16)
+let get_u16be b off = (Bytes.get_uint8 b off lsl 8) lor Bytes.get_uint8 b (off + 1)
+let get_u32be b off = (get_u16be b off lsl 16) lor get_u16be b (off + 2)
+
+let ipv4_checksum b ~off =
+  let sum = ref 0 in
+  for k = 0 to (ip_header / 2) - 1 do
+    sum := !sum + get_u16be b (off + (k * 2))
+  done;
+  let sum = (!sum land 0xFFFF) + (!sum lsr 16) in
+  let sum = (sum land 0xFFFF) + (sum lsr 16) in
+  lnot sum land 0xFFFF
+
+let frame_of_packet (p : Nf.Packet.t) =
+  let b = Bytes.make frame_len '\000' in
+  (* Ethernet: locally-administered MACs, IPv4 ethertype. *)
+  Bytes.blit_string "\x02\x00\x00\x00\x00\x02" 0 b 0 6;
+  Bytes.blit_string "\x02\x00\x00\x00\x00\x01" 0 b 6 6;
+  set_u16be b 12 0x0800;
+  let ip = eth_header in
+  Bytes.set_uint8 b ip 0x45;
+  set_u16be b (ip + 2) (frame_len - eth_header);
+  Bytes.set_uint8 b (ip + 8) 64 (* TTL *);
+  Bytes.set_uint8 b (ip + 9) p.proto;
+  set_u32be b (ip + 12) p.src_ip;
+  set_u32be b (ip + 16) p.dst_ip;
+  set_u16be b (ip + 10) 0;
+  set_u16be b (ip + 10) (ipv4_checksum b ~off:ip);
+  let l4 = ip + ip_header in
+  set_u16be b l4 p.src_port;
+  set_u16be b (l4 + 2) p.dst_port;
+  (if p.proto = Nf.Packet.udp then
+     (* UDP length covers header + payload. *)
+     set_u16be b (l4 + 4) (frame_len - l4)
+   else if p.proto = Nf.Packet.tcp then begin
+     set_u32be b (l4 + 4) 1 (* seq *);
+     Bytes.set_uint8 b (l4 + 12) 0x50 (* data offset 5 *);
+     Bytes.set_uint8 b (l4 + 13) 0x10 (* ACK *)
+   end);
+  b
+
+let packet_of_frame b off len =
+  if len < eth_header + ip_header + 4 then failwith "Pcap: truncated frame";
+  if get_u16be b (off + 12) <> 0x0800 then failwith "Pcap: not IPv4";
+  let ip = off + eth_header in
+  let ihl = (Bytes.get_uint8 b ip land 0xF) * 4 in
+  let proto = Bytes.get_uint8 b (ip + 9) in
+  let src_ip = get_u32be b (ip + 12) in
+  let dst_ip = get_u32be b (ip + 16) in
+  let l4 = ip + ihl in
+  let src_port = get_u16be b l4 in
+  let dst_port = get_u16be b (l4 + 2) in
+  { Nf.Packet.src_ip; dst_ip; proto; src_port; dst_port }
+
+let to_bytes packets =
+  let n = List.length packets in
+  let b = Bytes.make (24 + (n * (16 + frame_len))) '\000' in
+  set_u32le b 0 magic;
+  set_u16le b 4 2;
+  set_u16le b 6 4;
+  set_u32le b 16 65535 (* snaplen *);
+  set_u32le b 20 1 (* Ethernet *);
+  List.iteri
+    (fun k p ->
+      let off = 24 + (k * (16 + frame_len)) in
+      set_u32le b off (k / 1_000_000);
+      set_u32le b (off + 4) (k mod 1_000_000);
+      set_u32le b (off + 8) frame_len;
+      set_u32le b (off + 12) frame_len;
+      Bytes.blit (frame_of_packet p) 0 b (off + 16) frame_len)
+    packets;
+  b
+
+let of_bytes b =
+  if Bytes.length b < 24 then failwith "Pcap: truncated file";
+  if get_u32le b 0 <> magic then failwith "Pcap: bad magic (expect LE classic)";
+  let rec go off acc =
+    if off + 16 > Bytes.length b then List.rev acc
+    else
+      let incl = get_u32le b (off + 8) in
+      if off + 16 + incl > Bytes.length b then failwith "Pcap: truncated record"
+      else go (off + 16 + incl) (packet_of_frame b (off + 16) incl :: acc)
+  in
+  go 24 []
+
+let write path packets =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes packets))
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      of_bytes b)

@@ -1,0 +1,21 @@
+(** Reading and writing libpcap capture files.
+
+    CASTAN's output is a PCAP file that MoonGen replays at the traffic
+    generator; this module produces byte-compatible classic (2.4) captures
+    with Ethernet/IPv4/UDP-or-TCP frames, and parses them back.  IPv4 header
+    checksums are computed for real — the files load in standard tools. *)
+
+val write : string -> Nf.Packet.t list -> unit
+(** 60-byte frames, one per packet, microsecond timestamps 1µs apart.
+    @raise Sys_error on I/O failure. *)
+
+val read : string -> Nf.Packet.t list
+(** Parses frames back to 5-tuples.
+    @raise Failure on malformed files or non-IPv4 frames. *)
+
+val to_bytes : Nf.Packet.t list -> Bytes.t
+val of_bytes : Bytes.t -> Nf.Packet.t list
+
+val ipv4_checksum : Bytes.t -> off:int -> int
+(** One's-complement sum over the 20-byte header at [off] (checksum field
+    zeroed by the caller or included — standard semantics). *)

@@ -1,0 +1,126 @@
+type measurement = {
+  workload : string;
+  latencies_ns : float array;
+  samples : Dut.sample array;
+}
+
+(* TG-side fixed path: wire + NIC + DMA + DPDK on both ends, observed by the
+   hardware timestamps.  A right-skewed distribution around 4.05µs puts the
+   NOP median at ≈4.3µs, as in the paper's figures. *)
+let tg_base_ns rng =
+  let u = Util.Rng.float rng in
+  3980.0 +. (-50.0 *. log (1.0 -. u))
+
+let clock_ghz = 3.3
+
+let measure ?(seed = 42) ?(samples = 20_000) ?(prefetch = false) ?(ddio = false)
+    ?(slice_seed = 0) nf w =
+  let dut = Dut.create ~slice_seed ~prefetch ~ddio nf in
+  let rng = Util.Rng.create (0x7b + seed) in
+  let dut_samples = Dut.replay dut w ~samples in
+  let latencies =
+    Array.map
+      (fun (s : Dut.sample) ->
+        tg_base_ns rng +. (float_of_int s.cycles /. clock_ghz))
+      dut_samples
+  in
+  { workload = w.Workload.name; latencies_ns = latencies; samples = dut_samples }
+
+let latency_cdf m = Util.Stats.cdf_of_samples m.latencies_ns
+
+let cycles_cdf m =
+  Util.Stats.cdf_of_samples
+    (Array.map (fun (s : Dut.sample) -> float_of_int s.cycles) m.samples)
+
+let median_latency_ns m = Util.Stats.median (latency_cdf m)
+
+let median_instrs m =
+  Util.Stats.median_int (Array.map (fun (s : Dut.sample) -> s.instrs) m.samples)
+
+let median_l3_misses m =
+  Util.Stats.median_int
+    (Array.map (fun (s : Dut.sample) -> s.l3_misses) m.samples)
+
+let nop_baseline ?(seed = 42) ?(samples = 20_000) () =
+  let nop = Nf.Registry.nop () in
+  let m = measure ~seed ~samples nop (Traffic.one_packet ()) in
+  { m with workload = "NOP" }
+
+let deviation_from_nop_ns m ~nop = median_latency_ns m -. median_latency_ns nop
+
+(* Deterministic arrivals at [rate_pps] against recorded service times;
+   finite descriptor queue; returns the drop fraction. *)
+let loss_at_rate ~queue_depth ~service_s rate_pps =
+  let n = Array.length service_s in
+  let interval = 1.0 /. rate_pps in
+  let dropped = ref 0 in
+  (* The queue holds departure-deadline state: [busy_until] is when the
+     server frees up after finishing everything accepted so far; [in_queue]
+     tracks how many accepted packets are still waiting or in service. *)
+  let busy_until = ref 0.0 in
+  let backlog = Queue.create () in
+  for k = 0 to n - 1 do
+    let now = float_of_int k *. interval in
+    (* Retire everything that finished by now. *)
+    while (not (Queue.is_empty backlog)) && Queue.peek backlog <= now do
+      ignore (Queue.pop backlog)
+    done;
+    if Queue.length backlog >= queue_depth then incr dropped
+    else begin
+      let start = if !busy_until > now then !busy_until else now in
+      let finish = start +. service_s.(k) in
+      busy_until := finish;
+      Queue.push finish backlog
+    end
+  done;
+  float_of_int !dropped /. float_of_int n
+
+(* Per-packet sojourn times (queueing + service) at a fixed offered rate:
+   what a partially adversarial stream does to everyone behind it in the
+   descriptor queue (head-of-line blocking, §5.5). *)
+let latency_under_load ?(queue_depth = 512) ~rate_mpps m =
+  let service_s =
+    Array.map
+      (fun (s : Dut.sample) -> float_of_int s.cycles /. clock_ghz /. 1e9)
+      m.samples
+  in
+  let n = Array.length service_s in
+  let interval = 1.0 /. (rate_mpps *. 1e6) in
+  let sojourn = ref [] and dropped = ref 0 in
+  let busy_until = ref 0.0 in
+  let backlog = Queue.create () in
+  for k = 0 to n - 1 do
+    let now = float_of_int k *. interval in
+    while (not (Queue.is_empty backlog)) && Queue.peek backlog <= now do
+      ignore (Queue.pop backlog)
+    done;
+    if Queue.length backlog >= queue_depth then incr dropped
+    else begin
+      let start = if !busy_until > now then !busy_until else now in
+      let finish = start +. service_s.(k) in
+      busy_until := finish;
+      Queue.push finish backlog;
+      sojourn := ((finish -. now) *. 1e9) :: !sojourn
+    end
+  done;
+  let measured = Array.of_list (List.rev !sojourn) in
+  let loss = float_of_int !dropped /. float_of_int n in
+  (Util.Stats.cdf_of_samples measured, loss)
+
+let max_throughput_mpps ?(queue_depth = 512) ?(loss_target = 0.01) m =
+  let service_s =
+    Array.map
+      (fun (s : Dut.sample) -> float_of_int s.cycles /. clock_ghz /. 1e9)
+      m.samples
+  in
+  let ok rate = loss_at_rate ~queue_depth ~service_s (rate *. 1e6) <= loss_target in
+  (* NIC line rate bounds the search; bisect to 0.01 Mpps. *)
+  let lo = ref 0.05 and hi = ref 14.88 in
+  if ok !hi then !hi
+  else begin
+    while !hi -. !lo > 0.01 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if ok mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,71 @@
+type scale = [ `Quick | `Default | `Paper ]
+
+let zipf_exponent = 1.26
+
+let sizes scale kind =
+  match (scale, kind) with
+  | `Quick, `Zipf -> (2_001, 300)
+  | `Quick, `Uni -> (10_047, 10_001)
+  | `Default, `Zipf -> (10_005, 1_334)
+  | `Default, `Uni -> (100_047, 100_001)
+  | `Paper, `Zipf -> (100_005, 6_674)
+  | `Paper, `Uni -> (1_000_472, 1_000_001)
+
+let one_packet () = Workload.make ~name:"1 Packet" [ Nf.Packet.make () ]
+
+let random_packet rng =
+  Nf.Packet.make
+    ~src_ip:(Util.Rng.int rng (1 lsl 32))
+    ~dst_ip:(Util.Rng.int rng (1 lsl 32))
+    ~proto:(if Util.Rng.int rng 100 < 70 then Nf.Packet.udp else Nf.Packet.tcp)
+    ~src_port:(Util.Rng.int rng 65536)
+    ~dst_port:(Util.Rng.int rng 65536)
+    ()
+
+let zipfian ?(scale = `Default) ~seed () =
+  let packets, flows = sizes scale `Zipf in
+  let rng = Util.Rng.create (0x21bf + seed) in
+  let pool = Array.init flows (fun _ -> random_packet rng) in
+  let z = Util.Zipf.create ~s:zipf_exponent ~n:flows in
+  let pkts =
+    List.init packets (fun _ -> pool.(Util.Zipf.sample z rng - 1))
+  in
+  Workload.make ~name:"Zipfian" pkts
+
+let unirand ?(scale = `Default) ~seed () =
+  let packets, flows = sizes scale `Uni in
+  let rng = Util.Rng.create (0x412a + seed) in
+  (* One flow per packet up to [flows], then reuse (matching the paper's
+     slightly-more-packets-than-flows trace). *)
+  let pool = Array.init flows (fun _ -> random_packet rng) in
+  let pkts =
+    List.init packets (fun k ->
+        if k < flows then pool.(k) else pool.(Util.Rng.int rng flows))
+  in
+  Workload.make ~name:"UniRand" pkts
+
+let unirand_castan ~seed ~flows =
+  let rng = Util.Rng.create (0xca57 + seed) in
+  Workload.make ~name:"UniRand CASTAN"
+    (List.init flows (fun _ -> random_packet rng))
+
+let mix ~seed ~fraction a b =
+  assert (fraction >= 0.0 && fraction <= 1.0);
+  let rng = Util.Rng.create (0x313c + seed) in
+  let n = max (Workload.length a) (Workload.length b) in
+  let ca = ref 0 and cb = ref 0 in
+  let pkts =
+    List.init n (fun _ ->
+        if Util.Rng.float rng < fraction then begin
+          incr ca;
+          Workload.nth_looped a (!ca - 1)
+        end
+        else begin
+          incr cb;
+          Workload.nth_looped b (!cb - 1)
+        end)
+  in
+  Workload.make
+    ~name:(Printf.sprintf "%.0f%% %s + %s" (fraction *. 100.) a.Workload.name
+             b.Workload.name)
+    pkts

@@ -1,0 +1,37 @@
+(** The generic workloads of §5.1.
+
+    - {e 1 Packet}: one packet replayed forever — best-case performance;
+    - {e Zipfian}: flows drawn from a Zipf distribution with s = 1.26 (fitted
+      to a university traffic capture) — typical real-world traffic;
+    - {e UniRand}: uniformly random flows, one per packet — DoS-style
+      stress-test traffic;
+    - {e UniRand-CASTAN}: UniRand restricted to as many flows as the CASTAN
+      workload, for volume-fair comparisons.
+
+    Sizes default to a scaled-down testbed (the simulator executes every
+    packet); pass [`Paper] for the paper's exact sizes: 100,005 packets /
+    6,674 flows Zipfian, 1,000,472 packets / 1,000,001 flows UniRand. *)
+
+type scale = [ `Quick | `Default | `Paper ]
+
+val zipf_exponent : float
+(** 1.26 *)
+
+val one_packet : unit -> Workload.t
+
+val zipfian : ?scale:scale -> seed:int -> unit -> Workload.t
+val unirand : ?scale:scale -> seed:int -> unit -> Workload.t
+
+val unirand_castan : seed:int -> flows:int -> Workload.t
+(** [flows] packets in [flows] flows, uniform random. *)
+
+val random_packet : Util.Rng.t -> Nf.Packet.t
+(** A uniformly random TCP/UDP 5-tuple. *)
+
+val sizes : scale -> [ `Zipf | `Uni ] -> int * int
+(** (packets, flows) for each generic workload at a scale. *)
+
+val mix : seed:int -> fraction:float -> Workload.t -> Workload.t -> Workload.t
+(** [mix ~fraction adversarial benign] interleaves the two traces, drawing
+    from the first with probability [fraction] — the partially-adversarial
+    DDoS scenario the paper's §5.5 discusses. *)

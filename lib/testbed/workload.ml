@@ -1,0 +1,20 @@
+type t = { name : string; packets : Nf.Packet.t array }
+
+let make ~name packets =
+  assert (packets <> []);
+  { name; packets = Array.of_list packets }
+
+let length t = Array.length t.packets
+
+let flows t =
+  let seen = Hashtbl.create (Array.length t.packets) in
+  Array.iter (fun p -> Hashtbl.replace seen (Nf.Packet.flow_key p) ()) t.packets;
+  Hashtbl.length seen
+
+let shape f t = { t with packets = Array.map f t.packets }
+
+let nth_looped t k = t.packets.(k mod Array.length t.packets)
+
+let save_pcap t path = Pcap.write path (Array.to_list t.packets)
+
+let load_pcap ~name path = { name; packets = Array.of_list (Pcap.read path) }

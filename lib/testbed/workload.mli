@@ -1,0 +1,20 @@
+(** A named packet trace, the unit the traffic generator replays. *)
+
+type t = { name : string; packets : Nf.Packet.t array }
+
+val make : name:string -> Nf.Packet.t list -> t
+val length : t -> int
+
+val flows : t -> int
+(** Number of distinct 5-tuple flows. *)
+
+val shape : (Nf.Packet.t -> Nf.Packet.t) -> t -> t
+(** Apply an NF's workload shaper to every packet (e.g. aim at the LB's
+    VIP), keeping the name. *)
+
+val nth_looped : t -> int -> Nf.Packet.t
+(** [nth_looped w k] replays the trace in a loop, as the TG does when a PCAP
+    is shorter than the experiment. *)
+
+val save_pcap : t -> string -> unit
+val load_pcap : name:string -> string -> t

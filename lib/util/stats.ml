@@ -1,0 +1,45 @@
+type cdf = float array (* sorted samples *)
+
+let cdf_of_samples samples =
+  assert (Array.length samples > 0);
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  sorted
+
+let quantile c q =
+  assert (q >= 0.0 && q <= 1.0);
+  let n = Array.length c in
+  let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+  c.(idx)
+
+let median c = quantile c 0.5
+let min_value c = c.(0)
+let max_value c = c.(Array.length c - 1)
+
+let points c ?(steps = 20) () =
+  let n = Array.length c in
+  let acc = ref [] in
+  for i = steps downto 0 do
+    let q = float_of_int i /. float_of_int steps in
+    let idx = min (n - 1) (int_of_float (q *. float_of_int n)) in
+    acc := (c.(idx), q) :: !acc
+  done;
+  !acc
+
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  let m = mean a in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (Array.length a)
+  in
+  sqrt var
+
+let median_int a =
+  assert (Array.length a > 0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted.((Array.length sorted - 1) / 2)

@@ -1,0 +1,26 @@
+(** Summary statistics and empirical CDFs for measurement results. *)
+
+type cdf
+(** An empirical cumulative distribution function over float samples. *)
+
+val cdf_of_samples : float array -> cdf
+(** Builds the empirical CDF (the input array is not modified). Requires a
+    non-empty array. *)
+
+val quantile : cdf -> float -> float
+(** [quantile c q] with [q] in [\[0, 1\]]; [quantile c 0.5] is the median. *)
+
+val median : cdf -> float
+
+val min_value : cdf -> float
+val max_value : cdf -> float
+
+val points : cdf -> ?steps:int -> unit -> (float * float) list
+(** [points c ~steps ()] samples the CDF curve as [(value, fraction)] pairs
+    suitable for plotting or printing; default 20 steps. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val median_int : int array -> int
+(** Median of integer samples (lower median). Requires a non-empty array. *)

@@ -1,0 +1,27 @@
+let pad cell width = cell ^ String.make (width - String.length cell) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  let note_row row =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter note_row rows;
+  let line row =
+    String.concat "  " (List.mapi (fun i cell -> pad cell widths.(i)) row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: sep :: body) @ [ "" ])
+
+let print ~header ~rows = print_string (render ~header ~rows)

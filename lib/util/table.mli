@@ -1,0 +1,9 @@
+(** Plain-text table rendering for experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] lays the table out with column widths fitted to the
+    contents, a separator line under the header, and cells left-aligned. Rows
+    shorter than the header are padded with empty cells. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** [print] is [render] followed by [print_string]. *)

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "castan"
+    [
+      ("util", Test_util.tests);
+      ("ir", Test_ir.tests);
+      ("lowering-diff", Test_lowering_diff.tests);
+      ("solver", Test_solver.tests);
+      ("cache", Test_cache.tests);
+      ("hashrev", Test_hashrev.tests);
+      ("symbex", Test_symbex.tests);
+      ("nf", Test_nf.tests);
+      ("testbed", Test_testbed.tests);
+      ("core", Test_core.tests);
+    ]

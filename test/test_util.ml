@@ -1,0 +1,163 @@
+(* Tests for castan.util: PRNG, Zipf sampling, statistics, tables. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let rng_deterministic () =
+  let a = Util.Rng.create 99 and b = Util.Rng.create 99 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let rng_copy_shares_state () =
+  let a = Util.Rng.create 5 in
+  ignore (Util.Rng.bits64 a);
+  let b = Util.Rng.copy a in
+  check Alcotest.int64 "copies agree" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+
+let rng_split_diverges () =
+  let a = Util.Rng.create 5 in
+  let b = Util.Rng.split a in
+  let xs = List.init 16 (fun _ -> Util.Rng.bits64 a) in
+  let ys = List.init 16 (fun _ -> Util.Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let rng_int_range =
+  QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Util.Rng.create seed in
+      let v = Util.Rng.int rng n in
+      v >= 0 && v < n)
+
+let rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int_in is inclusive" ~count:500
+    QCheck.(triple small_int (int_range 0 100) (int_range 0 100))
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Util.Rng.create seed in
+      let v = Util.Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let rng_uniformity () =
+  let rng = Util.Rng.create 1 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Util.Rng.int rng 10 in
+    buckets.(k) <- buckets.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 10)) > n / 50 then
+        Alcotest.failf "bucket %d has %d hits (expected ~%d)" i c (n / 10))
+    buckets
+
+let rng_shuffle_permutes () =
+  let rng = Util.Rng.create 3 in
+  let a = Array.init 100 Fun.id in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 Fun.id)
+
+let zipf_probs_sum () =
+  let z = Util.Zipf.create ~s:1.26 ~n:500 in
+  let total = ref 0.0 in
+  for rank = 1 to 500 do
+    total := !total +. Util.Zipf.prob z rank
+  done;
+  if abs_float (!total -. 1.0) > 1e-9 then
+    Alcotest.failf "probabilities sum to %f" !total
+
+let zipf_monotone () =
+  let z = Util.Zipf.create ~s:1.26 ~n:100 in
+  for rank = 2 to 100 do
+    if Util.Zipf.prob z rank > Util.Zipf.prob z (rank - 1) +. 1e-12 then
+      Alcotest.failf "prob increased at rank %d" rank
+  done
+
+let zipf_sampling_matches_prob () =
+  let z = Util.Zipf.create ~s:1.26 ~n:50 in
+  let rng = Util.Rng.create 17 in
+  let n = 200_000 in
+  let hits = Array.make 51 0 in
+  for _ = 1 to n do
+    let r = Util.Zipf.sample z rng in
+    hits.(r) <- hits.(r) + 1
+  done;
+  let observed = float_of_int hits.(1) /. float_of_int n in
+  let expected = Util.Zipf.prob z 1 in
+  if abs_float (observed -. expected) > 0.01 then
+    Alcotest.failf "rank-1 frequency %f, expected %f" observed expected
+
+let zipf_sample_in_support =
+  QCheck.Test.make ~name:"Zipf.sample within support" ~count:300
+    QCheck.(pair small_int (int_range 1 200))
+    (fun (seed, n) ->
+      let z = Util.Zipf.create ~s:1.26 ~n in
+      let rng = Util.Rng.create seed in
+      let v = Util.Zipf.sample z rng in
+      v >= 1 && v <= n)
+
+let stats_median () =
+  let cdf = Util.Stats.cdf_of_samples [| 5.0; 1.0; 3.0 |] in
+  check (Alcotest.float 1e-9) "median" 3.0 (Util.Stats.median cdf);
+  check (Alcotest.float 1e-9) "min" 1.0 (Util.Stats.min_value cdf);
+  check (Alcotest.float 1e-9) "max" 5.0 (Util.Stats.max_value cdf)
+
+let stats_quantile_sorted =
+  QCheck.Test.make ~name:"Stats.quantile is monotone" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let cdf = Util.Stats.cdf_of_samples (Array.of_list samples) in
+      let prev = ref neg_infinity in
+      List.for_all
+        (fun q ->
+          let v = Util.Stats.quantile cdf q in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 0.0; 0.25; 0.5; 0.75; 1.0 ])
+
+let stats_median_int () =
+  check Alcotest.int "odd" 2 (Util.Stats.median_int [| 3; 1; 2 |]);
+  check Alcotest.int "even lower" 2 (Util.Stats.median_int [| 4; 1; 2; 3 |]);
+  check Alcotest.int "single" 7 (Util.Stats.median_int [| 7 |])
+
+let stats_mean_stddev () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Util.Stats.mean [| 1.0; 2.0; 3.0 |]);
+  if abs_float (Util.Stats.stddev [| 2.0; 2.0; 2.0 |]) > 1e-9 then
+    Alcotest.fail "stddev of constants should be 0"
+
+let table_render () =
+  let s =
+    Util.Table.render ~header:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333" ] ]
+  in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  (* short row padded, no exception *)
+  Alcotest.(check bool) "has separator" true (String.contains s '-')
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng copy" `Quick rng_copy_shares_state;
+    Alcotest.test_case "rng split" `Quick rng_split_diverges;
+    Alcotest.test_case "rng uniform" `Quick rng_uniformity;
+    Alcotest.test_case "rng shuffle" `Quick rng_shuffle_permutes;
+    qtest rng_int_range;
+    qtest rng_int_in_range;
+    Alcotest.test_case "zipf probs sum to 1" `Quick zipf_probs_sum;
+    Alcotest.test_case "zipf monotone" `Quick zipf_monotone;
+    Alcotest.test_case "zipf sampling freq" `Quick zipf_sampling_matches_prob;
+    qtest zipf_sample_in_support;
+    Alcotest.test_case "stats median" `Quick stats_median;
+    qtest stats_quantile_sorted;
+    Alcotest.test_case "stats median_int" `Quick stats_median_int;
+    Alcotest.test_case "stats mean/stddev" `Quick stats_mean_stddev;
+    Alcotest.test_case "table render" `Quick table_render;
+  ]
