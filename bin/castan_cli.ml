@@ -58,7 +58,12 @@ let analyze_cmd =
     let nf = Nf.Registry.find name in
     let cache =
       match cache_model_file with
-      | Some path -> Castan.Analyze.Contention_sets (Cache.Contention.load path)
+      | Some path -> (
+          match Cache.Contention.load_result path with
+          | Ok sets -> Castan.Analyze.Contention_sets sets
+          | Error reason ->
+              Printf.eprintf "castan: cannot load cache model: %s\n%!" reason;
+              exit 1)
       | None ->
           if no_contention then Castan.Analyze.Baseline
           else
@@ -222,29 +227,79 @@ let dump_cmd =
 let experiment_cmd =
   let id =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
-           ~doc:"Experiment id, e.g. fig4 or table1; `castan experiment list'\
-                 enumerates them.")
+           ~doc:"Experiment id, e.g. fig4 or table1 (or a group: tables, \
+                 figures, all); `castan experiment list' enumerates them.")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down workloads.")
   in
-  let run id quick =
+  let fail_fast =
+    Arg.(value & flag & info [ "fail-fast" ]
+           ~doc:"Abort on the first stage failure instead of containing it \
+                 (exit code 1).")
+  in
+  let inject_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ rate; seed ] -> (
+          match (float_of_string_opt rate, int_of_string_opt seed) with
+          | Some rate, Some seed when rate >= 0.0 && rate <= 1.0 ->
+              Ok (rate, seed)
+          | _ -> Error (`Msg (Printf.sprintf "invalid RATE:SEED %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "expected RATE:SEED, got %S" s))
+    in
+    let print fmt (rate, seed) = Format.fprintf fmt "%g:%d" rate seed in
+    Arg.conv (parse, print)
+  in
+  let inject =
+    Arg.(value & opt (some inject_conv) None & info [ "inject-faults" ]
+           ~docv:"RATE:SEED"
+           ~doc:"Probabilistically fail guarded pipeline stages (probability \
+                 RATE per stage, deterministic from SEED) to exercise the \
+                 degradation paths.  RATE 0.0 is bit-identical to no \
+                 injection.")
+  in
+  let run id quick fail_fast inject =
+    Util.Resilience.reset ();
+    Util.Resilience.set_fail_fast fail_fast;
+    Util.Resilience.set_injection
+      (Option.map
+         (fun (rate, seed) -> Util.Resilience.inject ~rate ~seed)
+         inject);
     if id = "list" then
       List.iter
         (fun (e : Castan.Harness.entry) ->
           Printf.printf "%-26s %s\n" e.id e.descr)
         Castan.Harness.all
-    else
+    else begin
       let config =
         if quick then Castan.Experiment.quick_config
         else Castan.Experiment.default_config
       in
-      Castan.Harness.run_id config id
+      (* Exit codes: 0 = clean, 2 = completed but degraded (failures were
+         contained and summarized), 1 = fatal (fail-fast or unknown id). *)
+      match
+        List.iter (Castan.Harness.run_id config) (Castan.Harness.expand_id id)
+      with
+      | () ->
+          let failures = Util.Resilience.recorded () in
+          if failures <> [] then begin
+            Castan.Report.print_failure_summary failures;
+            Printf.printf "completed degraded: %d contained failure(s)\n%!"
+              (List.length failures);
+            exit 2
+          end
+      | exception e ->
+          let failures = Util.Resilience.recorded () in
+          Castan.Report.print_failure_summary failures;
+          Printf.eprintf "castan: fatal: %s\n%!" (Printexc.to_string e);
+          exit 1
+    end
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables, figures or ablations")
-    Term.(const run $ id $ quick)
+    Term.(const run $ id $ quick $ fail_fast $ inject)
 
 let () =
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in

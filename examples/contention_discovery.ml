@@ -8,6 +8,8 @@
 
      dune exec examples/contention_discovery.exe *)
 
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
+
 let () =
   let geom = Cache.Geometry.xeon_e5_2667v2 in
   Printf.printf "machine: L3 %dKiB, %d-way, %d slices (hidden hash), δ = %d cycles\n"
@@ -15,7 +17,8 @@ let () =
 
   (* One raw discovery run on a single page. *)
   let m = Cache.Probe.machine ~slice_seed:0 ~vmem_seed:1 geom in
-  let offsets = Cache.Contention.standard_offsets geom ~count:192 in
+  let count = if smoke then 48 else 192 in
+  let offsets = Cache.Contention.standard_offsets geom ~count in
   let pool = Array.map (fun o -> (1 lsl 30) + o) offsets in
   let t0 = Unix.gettimeofday () in
   let sets = Cache.Contention.discover_sets m ~pool () in
@@ -43,8 +46,9 @@ let () =
   (* The consistent model used by the analysis: several pages x reboots. *)
   let t1 = Unix.gettimeofday () in
   let consistent =
-    Cache.Contention.consistent ~pages:2 ~reboots:2 ~geom
-      ~offsets:(Cache.Contention.standard_offsets geom ~count:192) ()
+    Cache.Contention.consistent ~pages:(if smoke then 1 else 2)
+      ~reboots:(if smoke then 1 else 2) ~geom
+      ~offsets:(Cache.Contention.standard_offsets geom ~count) ()
   in
   Printf.printf "consistent across pages/reboots: %d classes in %.1fs\n"
     consistent.Cache.Contention.n_classes

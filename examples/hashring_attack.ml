@@ -5,16 +5,22 @@
 
      dune exec examples/hashring_attack.exe *)
 
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
+
 let () =
   let nf = Nf.Registry.find "lb-hash-ring" in
-  let sets = Castan.Analyze.discover_contention_sets () in
+  let sets =
+    if smoke then
+      Castan.Analyze.discover_contention_sets ~pool:64 ~pages:1 ~reboots:1 ()
+    else Castan.Analyze.discover_contention_sets ()
+  in
   let config =
     {
       (Castan.Analyze.default_config
          ~cache:(Castan.Analyze.Contention_sets sets) ())
       with
-      time_budget = 15.0;
-      n_packets = Some 30;
+      time_budget = (if smoke then 0.5 else 15.0);
+      n_packets = Some (if smoke then 8 else 30);
     }
   in
   let o = Castan.Analyze.run ~config nf in
@@ -36,7 +42,7 @@ let () =
           (hash.apply key))
     o.workload.Testbed.Workload.packets;
 
-  let samples = 8_000 in
+  let samples = if smoke then 500 else 8_000 in
   let nop = Testbed.Tg.nop_baseline ~samples () in
   let z = Testbed.Tg.measure ~samples nf
       (Testbed.Workload.shape nf.Nf.Nf_def.shape (Testbed.Traffic.zipfian ~seed:7 ())) in

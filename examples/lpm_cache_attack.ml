@@ -5,13 +5,19 @@
 
      dune exec examples/lpm_cache_attack.exe *)
 
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
+
 let () =
   let nf = Nf.Registry.find "lpm-1stage-dl" in
 
   (* The attack needs the empirical cache model: reverse-engineer the
      machine's contention sets first (§3.2). *)
   Printf.printf "discovering L3 contention sets...\n%!";
-  let sets = Castan.Analyze.discover_contention_sets () in
+  let sets =
+    if smoke then
+      Castan.Analyze.discover_contention_sets ~pool:64 ~pages:1 ~reboots:1 ()
+    else Castan.Analyze.discover_contention_sets ()
+  in
   Printf.printf "  %d consistent sets\n%!" sets.Cache.Contention.n_classes;
 
   let config =
@@ -19,7 +25,7 @@ let () =
       (Castan.Analyze.default_config
          ~cache:(Castan.Analyze.Contention_sets sets) ())
       with
-      time_budget = 15.0;
+      time_budget = (if smoke then 0.5 else 15.0);
     }
   in
   let o = Castan.Analyze.run ~config nf in
@@ -29,7 +35,7 @@ let () =
        (fun acc (m : Symbex.State.metrics) -> acc + m.l3_misses)
        0 o.predicted);
 
-  let samples = 10_000 in
+  let samples = if smoke then 500 else 10_000 in
   let nop = Testbed.Tg.nop_baseline ~samples () in
   let rows =
     [

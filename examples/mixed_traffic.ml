@@ -4,13 +4,19 @@
 
      dune exec examples/mixed_traffic.exe *)
 
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
+
 let () =
   let nf = Nf.Registry.find "lpm-1stage-dl" in
-  let sets = Castan.Analyze.discover_contention_sets () in
+  let sets =
+    if smoke then
+      Castan.Analyze.discover_contention_sets ~pool:64 ~pages:1 ~reboots:1 ()
+    else Castan.Analyze.discover_contention_sets ()
+  in
   let config =
     { (Castan.Analyze.default_config
          ~cache:(Castan.Analyze.Contention_sets sets) ())
-      with time_budget = 10.0 }
+      with time_budget = (if smoke then 0.5 else 10.0) }
   in
   let o = Castan.Analyze.run ~config nf in
   let zipf = Testbed.Traffic.zipfian ~seed:11 () in
@@ -26,7 +32,7 @@ let () =
         else if fraction = 1.0 then o.Castan.Analyze.workload
         else Testbed.Traffic.mix ~seed:11 ~fraction o.Castan.Analyze.workload zipf
       in
-      let m = Testbed.Tg.measure ~samples:10_000 nf w in
+      let m = Testbed.Tg.measure ~samples:(if smoke then 500 else 10_000) nf w in
       let cdf, loss = Testbed.Tg.latency_under_load ~rate_mpps:rate m in
       Printf.printf "%9.0f%% %14.0f %14.0f %8.3f\n" (fraction *. 100.0)
         (Util.Stats.median cdf)

@@ -5,14 +5,17 @@
 
      dune exec examples/nat_tree_attack.exe *)
 
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
+
 let measure_nf nf_name ~castan_budget =
   let nf = Nf.Registry.find nf_name in
   let config =
     { (Castan.Analyze.default_config ()) with
-      time_budget = castan_budget; n_packets = Some 30 }
+      time_budget = (if smoke then 0.5 else castan_budget);
+      n_packets = Some (if smoke then 8 else 30) }
   in
   let o = Castan.Analyze.run ~config nf in
-  let samples = 8_000 in
+  let samples = if smoke then 500 else 8_000 in
   let nop = Testbed.Tg.nop_baseline ~samples () in
   let workloads =
     [ ("Zipfian", Testbed.Traffic.zipfian ~seed:5 ()); ("CASTAN", o.workload) ]

@@ -1,7 +1,12 @@
 (* Quickstart: synthesize an adversarial workload for one NF and compare it
    against typical traffic on the simulated testbed.
 
-     dune exec examples/quickstart.exe *)
+     dune exec examples/quickstart.exe
+
+   CASTAN_SMOKE=1 shrinks every budget so `dune build @smoke` finishes in
+   seconds. *)
+
+let smoke = Sys.getenv_opt "CASTAN_SMOKE" <> None
 
 let () =
   (* 1. Pick a network function from the evaluation library. *)
@@ -11,7 +16,8 @@ let () =
   (* 2. Run CASTAN: directed symbolic execution + cache model. *)
   let config =
     { (Castan.Analyze.default_config ()) with
-      n_packets = Some 10; time_budget = 5.0 }
+      n_packets = Some (if smoke then 3 else 10);
+      time_budget = (if smoke then 0.5 else 5.0) }
   in
   let outcome = Castan.Analyze.run ~config nf in
   Printf.printf "synthesized %d packets (%d states explored, %.1fs):\n"
@@ -26,7 +32,7 @@ let () =
   Printf.printf "wrote castan-quickstart.pcap\n";
 
   (* 4. Measure against the typical Zipfian workload. *)
-  let samples = 8_000 in
+  let samples = if smoke then 500 else 8_000 in
   let nop = Testbed.Tg.nop_baseline ~samples () in
   let castan = Testbed.Tg.measure ~samples nf outcome.workload in
   let zipf =

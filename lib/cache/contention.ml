@@ -150,28 +150,61 @@ let save t path =
         (fun line_id cls -> Printf.fprintf oc "%d %d\n" (line_id * t.line) cls)
         t.class_of)
 
+exception Parse_error of string
+
+let load_result path =
+  let parse ic =
+    let lineno = ref 1 in
+    let fail reason =
+      raise (Parse_error (Printf.sprintf "%s: line %d: %s" path !lineno reason))
+    in
+    let header =
+      try input_line ic with End_of_file -> fail "empty file (missing header)"
+    in
+    let alpha, line, n_classes =
+      try
+        Scanf.sscanf header "castan-contention-sets v1 alpha=%d line=%d classes=%d"
+          (fun a l c -> (a, l, c))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        fail
+          (Printf.sprintf
+             "bad header %S (expected \"castan-contention-sets v1 alpha=.. \
+              line=.. classes=..\")"
+             header)
+    in
+    if line <= 0 then fail (Printf.sprintf "non-positive line size %d" line);
+    let class_of = Hashtbl.create 256 in
+    (try
+       while true do
+         incr lineno;
+         let l = input_line ic in
+         if String.trim l <> "" then begin
+           let offset, cls =
+             try Scanf.sscanf l " %d %d" (fun o c -> (o, c))
+             with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+               fail
+                 (Printf.sprintf "malformed entry %S (expected \"offset class\")" l)
+           in
+           if offset mod line <> 0 then
+             fail
+               (Printf.sprintf "misaligned offset %d (line size %d)" offset line);
+           Hashtbl.replace class_of (offset / line) cls
+         end
+       done
+     with End_of_file -> ());
+    { alpha; line; class_of; n_classes }
+  in
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match parse ic with
+          | t -> Ok t
+          | exception Parse_error reason -> Error reason)
+
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = input_line ic in
-      let alpha, line, n_classes =
-        try
-          Scanf.sscanf header "castan-contention-sets v1 alpha=%d line=%d classes=%d"
-            (fun a l c -> (a, l, c))
-        with Scanf.Scan_failure _ | End_of_file ->
-          failwith "Contention.load: bad header"
-      in
-      let class_of = Hashtbl.create 256 in
-      (try
-         while true do
-           let l = input_line ic in
-           if String.trim l <> "" then
-             Scanf.sscanf l "%d %d" (fun offset cls ->
-                 if offset mod line <> 0 then
-                   failwith "Contention.load: misaligned offset";
-                 Hashtbl.replace class_of (offset / line) cls)
-         done
-       with End_of_file -> ());
-      { alpha; line; class_of; n_classes })
+  match load_result path with
+  | Ok t -> t
+  | Error reason -> failwith ("Contention.load: " ^ reason)

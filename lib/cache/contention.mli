@@ -57,5 +57,11 @@ val save : t -> string -> unit
     workflow: probe the machine once, analyze many NFs).  Plain text:
     a header line, then one "offset class" pair per line. *)
 
+val load_result : string -> (t, string) result
+(** Non-raising loader.  [Error] carries a descriptive message — file, line
+    number and reason — for unreadable or malformed files (bad header,
+    malformed entry, misaligned offset). *)
+
 val load : string -> t
-(** @raise Failure on malformed files. *)
+(** Raising convenience wrapper over {!load_result}.
+    @raise Failure on unreadable or malformed files. *)

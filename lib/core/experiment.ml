@@ -36,7 +36,8 @@ let quick_config =
     seed = 42;
   }
 
-let cache : (string, nf_run) Hashtbl.t = Hashtbl.create 16
+let cache : (string, (nf_run, Util.Resilience.failure) result) Hashtbl.t =
+  Hashtbl.create 16
 
 let clear_cache () = Hashtbl.reset cache
 
@@ -45,28 +46,34 @@ let cache_key name (c : config) =
     (match c.scale with `Quick -> "q" | `Default -> "d" | `Paper -> "p")
     c.samples c.use_contention_model
 
-let run ?(config = default_config) name =
-  let key = cache_key name config in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-      let nf = Nf.Registry.find name in
-      let analysis_cfg =
-        {
-          (Analyze.default_config
-             ~cache:
-               (if config.use_contention_model then
-                  Analyze.Contention_sets
-                    (Analyze.discover_contention_sets ())
-                else Analyze.Baseline)
-             ())
-          with
-          time_budget = config.analysis_time;
-          instr_budget = config.analysis_instrs;
-          seed = config.seed;
-        }
-      in
-      let castan = Analyze.run ~config:analysis_cfg nf in
+(* One NF campaign, split into guarded stages so a failure names where the
+   pipeline died.  The [checkpoint] calls are the fault-injection points:
+   no-ops unless `--inject-faults` installed an injector. *)
+let campaign name config =
+  let ( let* ) = Result.bind in
+  let* nf, castan =
+    Util.Resilience.guard ~nf:name ~stage:"symbex" (fun () ->
+        Util.Resilience.checkpoint ~nf:name ~stage:"symbex" ();
+        let nf = Nf.Registry.find name in
+        let analysis_cfg =
+          {
+            (Analyze.default_config
+               ~cache:
+                 (if config.use_contention_model then
+                    Analyze.Contention_sets
+                      (Analyze.discover_contention_sets ())
+                  else Analyze.Baseline)
+               ())
+            with
+            time_budget = config.analysis_time;
+            instr_budget = config.analysis_instrs;
+            seed = config.seed;
+          }
+        in
+        (nf, Analyze.run ~config:analysis_cfg nf))
+  in
+  Util.Resilience.guard ~nf:name ~stage:"testbed" (fun () ->
+      Util.Resilience.checkpoint ~nf:name ~stage:"testbed" ();
       let shape = Testbed.Workload.shape nf.Nf.Nf_def.shape in
       let seed = config.seed in
       let samples = config.samples in
@@ -98,11 +105,21 @@ let run ?(config = default_config) name =
           (fun (label, w) -> { label; measurement = measure w })
           (generic @ manual)
       in
-      let r =
-        { nf; nop = Testbed.Tg.nop_baseline ~seed ~samples (); rows; castan }
-      in
+      { nf; nop = Testbed.Tg.nop_baseline ~seed ~samples (); rows; castan })
+
+let try_run ?(config = default_config) name =
+  let key = cache_key name config in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = campaign name config in
       Hashtbl.replace cache key r;
       r
+
+let run ?(config = default_config) name =
+  match try_run ~config name with
+  | Ok r -> r
+  | Error f -> failwith (Util.Resilience.to_string f)
 
 let find_row r label =
   match List.find_opt (fun row -> row.label = label) r.rows with

@@ -32,9 +32,18 @@ val default_config : config
 val quick_config : config
 (** Scaled down for tests and smoke runs. *)
 
+val try_run :
+  ?config:config -> string -> (nf_run, Util.Resilience.failure) result
+(** [try_run name] looks the NF up in {!Nf.Registry} and runs (or returns
+    the memoized) campaign with every pipeline stage guarded: a failing NF
+    comes back as [Error] naming the stage (["symbex"] or ["testbed"]) and
+    the reason, so callers (the harness, the tables) can render a
+    [failed:<stage>] cell and continue with the other NFs.  Failures are
+    memoized like successes, keeping repeated table renders consistent. *)
+
 val run : ?config:config -> string -> nf_run
-(** [run name] looks the NF up in {!Nf.Registry} and runs (or returns the
-    memoized) campaign. *)
+(** Raising wrapper over {!try_run}.
+    @raise Failure when the campaign failed. *)
 
 val find_row : nf_run -> string -> Testbed.Tg.measurement
 (** @raise Not_found for labels absent from this run (e.g. "Manual"). *)

@@ -46,14 +46,20 @@ let figures =
 let figure_nfs = List.map (fun f -> (f.fid, f.nf_name)) figures
 
 let run_figure f config =
-  let r = Experiment.run ~config f.nf_name in
-  match f.kind with
-  | `Latency ->
-      Report.print_cdf_figure ~id:f.fid ~title:f.caption
-        ~unit_label:"latency ns" (Report.latency_series r)
-  | `Cycles ->
-      Report.print_cdf_figure ~id:f.fid ~title:f.caption ~unit_label:"cycles"
-        (Report.cycles_series r)
+  match Experiment.try_run ~config f.nf_name with
+  | Error fl ->
+      (* The figure degrades to a stub; the campaign's failure is already in
+         the resilience sink for the end-of-run summary. *)
+      Printf.printf "\n== %s: %s ==\nfailed:%s (%s)\n" f.fid f.caption
+        fl.Util.Resilience.stage fl.Util.Resilience.reason
+  | Ok r -> (
+      match f.kind with
+      | `Latency ->
+          Report.print_cdf_figure ~id:f.fid ~title:f.caption
+            ~unit_label:"latency ns" (Report.latency_series r)
+      | `Cycles ->
+          Report.print_cdf_figure ~id:f.fid ~title:f.caption ~unit_label:"cycles"
+            (Report.cycles_series r))
 
 (* ------------------------------------------------------------------ *)
 (* Tables 1-5                                                          *)
@@ -61,20 +67,33 @@ let run_figure f config =
 
 let table_nfs = List.filter (fun n -> n <> "nop") Nf.Registry.names
 
-let all_runs config = List.map (fun n -> Experiment.run ~config n) table_nfs
+(* Per-NF isolation: each campaign is guarded, so the result splits into
+   completed runs plus [failed:<stage>] columns — the table always renders. *)
+let all_runs config =
+  List.partition_map
+    (fun n ->
+      match Experiment.try_run ~config n with
+      | Ok r -> Either.Left r
+      | Error f -> Either.Right (n, f))
+    table_nfs
 
 let tables =
   [
     ("table1", "maximum throughput (Mpps) per NF and workload",
-     fun c -> Report.print_throughput_table (all_runs c));
+     fun c -> let ok, failed = all_runs c in
+       Report.print_throughput_table ~failed ok);
     ("table2", "median instructions retired per packet",
-     fun c -> Report.print_instrs_table (all_runs c));
+     fun c -> let ok, failed = all_runs c in
+       Report.print_instrs_table ~failed ok);
     ("table3", "median L3 misses per packet",
-     fun c -> Report.print_misses_table (all_runs c));
+     fun c -> let ok, failed = all_runs c in
+       Report.print_misses_table ~failed ok);
     ("table4", "CASTAN analysis: packets generated, run time",
-     fun c -> Report.print_analysis_table (all_runs c));
+     fun c -> let ok, failed = all_runs c in
+       Report.print_analysis_table ~failed ok);
     ("table5", "median latency deviation from NOP (ns)",
-     fun c -> Report.print_deviation_table (all_runs c));
+     fun c -> let ok, failed = all_runs c in
+       Report.print_deviation_table ~failed ok);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -434,13 +453,31 @@ let ids = List.map (fun e -> e.id) all
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* Meta-ids expand to groups so `castan experiment tables` regenerates the
+   whole evaluation in one command. *)
+let expand_id = function
+  | "tables" -> List.map (fun (id, _, _) -> id) tables
+  | "figures" -> List.map (fun f -> f.fid) figures
+  | "all" -> ids
+  | id -> [ id ]
+
 let run_id config id =
   match find id with
   | None ->
       invalid_arg
         (Printf.sprintf "Harness.run_id: unknown experiment %s (known: %s)" id
-           (String.concat ", " ids))
-  | Some e ->
+           (String.concat ", " (ids @ [ "tables"; "figures"; "all" ])))
+  | Some e -> (
       let t0 = Unix.gettimeofday () in
-      e.run config;
-      Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+      (* The whole entry is guarded too: an ablation dying (beyond the
+         per-NF isolation of the tables) degrades to a one-line failure
+         instead of aborting the run.  With fail-fast on, the exception
+         propagates. *)
+      match
+        Util.Resilience.guard ~stage:("experiment:" ^ id) (fun () ->
+            e.run config)
+      with
+      | Ok () ->
+          Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+      | Error f ->
+          Printf.printf "[%s failed: %s]\n%!" id (Util.Resilience.to_string f))

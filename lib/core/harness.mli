@@ -16,8 +16,14 @@ val ids : string list
 
 val find : string -> entry option
 
+val expand_id : string -> string list
+(** Meta-ids: ["tables"], ["figures"] and ["all"] expand to their groups;
+    any other id expands to itself (validity checked by {!run_id}). *)
+
 val run_id : Experiment.config -> string -> unit
-(** Runs one entry and prints a timing trailer.
+(** Runs one entry (guarded: a failing entry prints [\[id failed: ...\]] and
+    records the failure instead of raising, unless fail-fast is on) and
+    prints a timing trailer.
     @raise Invalid_argument on unknown ids (message lists known ones). *)
 
 val figure_nfs : (string * string) list

@@ -26,13 +26,21 @@ let cycles_series (r : Experiment.nf_run) =
          (row.label, Testbed.Tg.cycles_cdf row.measurement))
        r.rows
 
-(* Tables 1-3, 5 share a layout: workloads as rows, NFs as columns. *)
+(* Tables 1-3, 5 share a layout: workloads as rows, NFs as columns.  NFs
+   whose campaign failed keep their column, rendered as a [failed:<stage>]
+   cell in every row — a degraded table is still a table. *)
 let workload_order =
   [ "NOP"; "1 Packet"; "Zipfian"; "UniRand"; "UniRand CASTAN"; "CASTAN"; "Manual" ]
 
-let grid_table ~title ~cell runs =
+let failed_cell (f : Util.Resilience.failure) = "failed:" ^ f.Util.Resilience.stage
+
+let grid_table ~title ~cell ?(failed = []) runs =
   Printf.printf "\n== %s ==\n" title;
-  let header = "Workload" :: List.map (fun (r : Experiment.nf_run) -> r.nf.Nf.Nf_def.name) runs in
+  let header =
+    ("Workload" :: List.map (fun (r : Experiment.nf_run) -> r.nf.Nf.Nf_def.name) runs)
+    @ List.map fst failed
+  in
+  let failed_cells = List.map (fun (_, f) -> failed_cell f) failed in
   let rows =
     List.filter_map
       (fun wl ->
@@ -46,36 +54,37 @@ let grid_table ~title ~cell runs =
                 | None -> "-")
             runs
         in
-        if List.for_all (( = ) "-") cells then None else Some (wl :: cells))
+        if List.for_all (( = ) "-") cells then None
+        else Some ((wl :: cells) @ failed_cells))
       workload_order
   in
   Util.Table.print ~header ~rows
 
-let print_throughput_table runs =
+let print_throughput_table ?failed runs =
   grid_table ~title:"Table 1: maximum throughput (Mpps)"
     ~cell:(fun _ m ->
       match m with
       | Some m -> Printf.sprintf "%.2f" (Testbed.Tg.max_throughput_mpps m)
       | None -> "-")
-    runs
+    ?failed runs
 
-let print_instrs_table runs =
+let print_instrs_table ?failed runs =
   grid_table ~title:"Table 2: median instructions retired per packet"
     ~cell:(fun _ m ->
       match m with
       | Some m -> string_of_int (Testbed.Tg.median_instrs m)
       | None -> "-")
-    runs
+    ?failed runs
 
-let print_misses_table runs =
+let print_misses_table ?failed runs =
   grid_table ~title:"Table 3: median L3 misses per packet"
     ~cell:(fun _ m ->
       match m with
       | Some m -> string_of_int (Testbed.Tg.median_l3_misses m)
       | None -> "-")
-    runs
+    ?failed runs
 
-let print_deviation_table runs =
+let print_deviation_table ?failed runs =
   grid_table ~title:"Table 5: median latency deviation from NOP (ns)"
     ~cell:(fun (r : Experiment.nf_run) m ->
       match m with
@@ -83,9 +92,9 @@ let print_deviation_table runs =
           Printf.sprintf "%.0f" (Testbed.Tg.deviation_from_nop_ns m ~nop:r.Experiment.nop)
       | Some _ -> "0"
       | None -> "-")
-    runs
+    ?failed runs
 
-let print_analysis_table runs =
+let print_analysis_table ?(failed = []) runs =
   Printf.printf "\n== Table 4: CASTAN analysis (packets generated, run time) ==\n";
   let header = [ "NF"; "# Packets"; "Time (s)"; "Explored"; "Reconciled" ] in
   let rows =
@@ -100,5 +109,20 @@ let print_analysis_table runs =
           Printf.sprintf "%d/%d" c.Analyze.reconciled c.Analyze.n_havocs;
         ])
       runs
+    @ List.map
+        (fun (name, f) -> [ name; failed_cell f; "-"; "-"; "-" ])
+        failed
   in
   Util.Table.print ~header ~rows
+
+let print_failure_summary failures =
+  if failures <> [] then begin
+    Printf.printf "\n== failure summary: %d contained failure(s) ==\n"
+      (List.length failures);
+    List.iter
+      (fun (stage, n) -> Printf.printf "  %-12s %d\n" stage n)
+      (Util.Resilience.by_stage failures);
+    List.iter
+      (fun f -> Printf.printf "  - %s\n" (Util.Resilience.to_string f))
+      failures
+  end

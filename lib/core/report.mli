@@ -17,17 +17,39 @@ val latency_series : Experiment.nf_run -> (string * Util.Stats.cdf) list
 
 val cycles_series : Experiment.nf_run -> (string * Util.Stats.cdf) list
 
-val print_throughput_table : Experiment.nf_run list -> unit
-(** Table 1: max throughput (Mpps) per NF and workload. *)
+val print_throughput_table :
+  ?failed:(string * Util.Resilience.failure) list ->
+  Experiment.nf_run list ->
+  unit
+(** Table 1: max throughput (Mpps) per NF and workload.  [failed] lists the
+    NFs whose campaign died — each keeps a column, filled with
+    [failed:<stage>] cells, so one broken NF never loses the table. *)
 
-val print_instrs_table : Experiment.nf_run list -> unit
+val print_instrs_table :
+  ?failed:(string * Util.Resilience.failure) list ->
+  Experiment.nf_run list ->
+  unit
 (** Table 2: median instructions retired per packet. *)
 
-val print_misses_table : Experiment.nf_run list -> unit
+val print_misses_table :
+  ?failed:(string * Util.Resilience.failure) list ->
+  Experiment.nf_run list ->
+  unit
 (** Table 3: median L3 misses per packet. *)
 
-val print_analysis_table : Experiment.nf_run list -> unit
-(** Table 4: packets generated and analysis run time. *)
+val print_analysis_table :
+  ?failed:(string * Util.Resilience.failure) list ->
+  Experiment.nf_run list ->
+  unit
+(** Table 4: packets generated and analysis run time; failed NFs get a
+    [failed:<stage>] row. *)
 
-val print_deviation_table : Experiment.nf_run list -> unit
+val print_deviation_table :
+  ?failed:(string * Util.Resilience.failure) list ->
+  Experiment.nf_run list ->
+  unit
 (** Table 5: median latency deviation from NOP (ns). *)
+
+val print_failure_summary : Util.Resilience.failure list -> unit
+(** The end-of-run error report: per-stage failure counts followed by one
+    line per failure.  Prints nothing for an empty list. *)

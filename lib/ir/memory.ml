@@ -82,7 +82,7 @@ let create ~regions ~heap_bytes ~inject =
 
 let regions t = Array.to_list t.regions
 
-let find_region t addr =
+let find_region_opt t addr =
   let n = Array.length t.regions in
   let lo = ref 0 and hi = ref (n - 1) in
   let found = ref None in
@@ -96,7 +96,10 @@ let find_region t addr =
       lo := !hi + 1
     end
   done;
-  match !found with
+  !found
+
+let find_region t addr =
+  match find_region_opt t addr with
   | Some r -> r
   | None -> invalid_arg (Printf.sprintf "Memory.find_region: 0x%x out of bounds" addr)
 
@@ -107,30 +110,60 @@ let region_named t name =
 
 let check_access r addr width =
   if width <> r.elem_width then
-    invalid_arg
+    Error
       (Printf.sprintf "Memory: %d-byte access in region %s (elem width %d)"
-         width r.name r.elem_width);
-  if (addr - r.base) mod r.elem_width <> 0 then
-    invalid_arg
-      (Printf.sprintf "Memory: misaligned access 0x%x in region %s" addr r.name)
+         width r.name r.elem_width)
+  else if (addr - r.base) mod r.elem_width <> 0 then
+    Error (Printf.sprintf "Memory: misaligned access 0x%x in region %s" addr r.name)
+  else Ok r
+
+let locate t addr width =
+  match find_region_opt t addr with
+  | None -> Error (Printf.sprintf "Memory: 0x%x out of bounds" addr)
+  | Some r -> check_access r addr width
+
+let try_read t ~addr ~width =
+  match locate t addr width with
+  | Error _ as e -> e
+  | Ok r -> (
+      match Imap.find_opt addr t.overlay with
+      | Some v -> Ok v
+      | None -> Ok (t.inject (r.init ((addr - r.base) / r.elem_width))))
+
+let try_write t ~addr ~width v =
+  match locate t addr width with
+  | Error _ as e -> e
+  | Ok _ -> Ok { t with overlay = Imap.add addr v t.overlay }
 
 let read t ~addr ~width =
   let r = find_region t addr in
-  check_access r addr width;
-  match Imap.find_opt addr t.overlay with
-  | Some v -> v
-  | None -> t.inject (r.init ((addr - r.base) / r.elem_width))
+  (* find_region already raised on out-of-bounds; surface access errors *)
+  match check_access r addr width with
+  | Error msg -> invalid_arg msg
+  | Ok r -> (
+      match Imap.find_opt addr t.overlay with
+      | Some v -> v
+      | None -> t.inject (r.init ((addr - r.base) / r.elem_width)))
 
 let write t ~addr ~width v =
   let r = find_region t addr in
-  check_access r addr width;
-  { t with overlay = Imap.add addr v t.overlay }
+  match check_access r addr width with
+  | Error msg -> invalid_arg msg
+  | Ok _ -> { t with overlay = Imap.add addr v t.overlay }
 
-let alloc t ~bytes =
+let try_alloc t ~bytes =
   let bytes = round_up (max bytes 1) 64 in
   if t.heap_next + bytes > t.heap_end then
-    invalid_arg "Memory.alloc: heap exhausted";
-  ({ t with heap_next = t.heap_next + bytes }, t.heap_next)
+    Error
+      (Printf.sprintf "Memory.alloc: heap exhausted (%d used of %d bytes)"
+         (t.heap_next - t.heap_base)
+         (t.heap_end - t.heap_base))
+  else Ok ({ t with heap_next = t.heap_next + bytes }, t.heap_next)
+
+let alloc t ~bytes =
+  match try_alloc t ~bytes with
+  | Ok r -> r
+  | Error _ -> invalid_arg "Memory.alloc: heap exhausted"
 
 let heap_used t = t.heap_next - t.heap_base
 let written_cells t = Imap.cardinal t.overlay

@@ -46,6 +46,12 @@ val create : regions:spec list -> heap_bytes:int -> inject:(int -> 'v) -> 'v t
 val regions : 'v t -> region list
 (** All regions, including the heap, sorted by base address. *)
 
+val find_region_opt : 'v t -> int -> region option
+(** [find_region_opt t addr] returns the region containing byte [addr], or
+    [None] when the address falls outside every region — the non-raising
+    lookup the symbolic engine uses to kill a faulting state instead of
+    crashing the driver. *)
+
 val find_region : 'v t -> int -> region
 (** [find_region t addr] returns the region containing byte [addr].
     @raise Invalid_argument on an out-of-bounds address. *)
@@ -61,10 +67,22 @@ val read : 'v t -> addr:int -> width:int -> 'v
 val write : 'v t -> addr:int -> width:int -> 'v -> 'v t
 (** Same addressing discipline as {!read}; persistent update. *)
 
+val try_read : 'v t -> addr:int -> width:int -> ('v, string) result
+(** Non-raising {!read}: out-of-bounds, misaligned and wrong-width accesses
+    come back as [Error] with a descriptive message. *)
+
+val try_write : 'v t -> addr:int -> width:int -> 'v -> ('v t, string) result
+(** Non-raising {!write}. *)
+
 val alloc : 'v t -> bytes:int -> 'v t * int
 (** Bump allocation from the heap, rounded up to 64-byte (cache-line)
     multiples so distinct nodes never share a line.
     @raise Invalid_argument when the heap is exhausted. *)
+
+val try_alloc : 'v t -> bytes:int -> ('v t * int, string) result
+(** Non-raising {!alloc}: [Error] describes the heap occupancy on
+    exhaustion, so the symbolic engine can kill the offending state with a
+    structured reason. *)
 
 val heap_used : 'v t -> int
 (** Bytes currently allocated from the heap. *)

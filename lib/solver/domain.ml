@@ -25,7 +25,10 @@ let make ~lo ~hi ~step =
 let const c = make ~lo:c ~hi:c ~step:1
 let interval ~lo ~hi = make ~lo ~hi ~step:1
 let of_width w = make ~lo:0 ~hi:((1 lsl w) - 1) ~step:1
-let top = make ~lo:0 ~hi:bound ~step:1
+(* [top] must contain negative values: the bitwise fallbacks below reach for
+   it when an operand may be negative, and an interval excluding the true
+   value turns the Lt/Le pruning in Solve unsound. *)
+let top = make ~lo:(-bound) ~hi:bound ~step:1
 
 let is_const d = if d.lo = d.hi then Some d.lo else None
 let mem d v = v >= d.lo && v <= d.hi && (v - d.lo) mod d.step = 0

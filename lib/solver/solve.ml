@@ -340,9 +340,90 @@ let fully_known st s =
   let i = get_info st s in
   i.known_mask = width_mask (sym_width s)
 
+(* ------------------------------------------------------------------ *)
+(* Overflow guard                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The decomposition rules above invert arithmetic assuming it is exact,
+   and the interval domain saturates its bounds at ±2^55 — but [eval]
+   computes in native OCaml integers.  An expression that wraps around
+   (or outgrows the domain's clamp window) satisfies equalities that exact
+   reasoning "refutes", so feeding it to the propagator can yield an
+   unsound Unsat.  [decomposable] over-approximates the range of every
+   subexpression in floats; constraints that could leave the exact window
+   anywhere are kept whole as residuals — the search phase and [check]
+   share [eval]'s native semantics — trading a possible Unknown for a
+   wrong verdict.  Real NF path constraints (packed flow keys, table
+   indices, hashes) stay far below the 2^54 window, so they are
+   unaffected. *)
+
+let exact_window = 2. ** 54.
+
+let decomposable (c0 : sexpr) =
+  let ok = ref true in
+  let flag ((lo, hi) as r) =
+    if not (lo >= -.exact_window && hi <= exact_window) then ok := false;
+    r
+  in
+  let rec range (e : sexpr) : float * float =
+    match e with
+    | Const c -> (float_of_int c, float_of_int c)
+    | Leaf s -> (0., (2. ** float_of_int (min (sym_width s) 62)) -. 1.)
+    | Cmp (_, a, b) ->
+        ignore (range a : float * float);
+        ignore (range b : float * float);
+        (0., 1.)
+    | Ite (c, a, b) ->
+        ignore (range c : float * float);
+        let la, ha = range a and lb, hb = range b in
+        (Float.min la lb, Float.max ha hb)
+    | Unop (Neg, a) ->
+        let lo, hi = range a in
+        flag (-.hi, -.lo)
+    | Unop (Bnot, a) ->
+        let lo, hi = range a in
+        flag (-.hi -. 1., -.lo -. 1.)
+    | Binop (op, a, b) ->
+        let ((la, ha) as ra) = range a and ((lb, hb) as rb) = range b in
+        let mag (lo, hi) = Float.max (Float.abs lo) (Float.abs hi) in
+        flag
+          (match op with
+          | Add -> (la +. lb, ha +. hb)
+          | Sub -> (la -. hb, ha -. lb)
+          | Mul ->
+              let ps = [ la *. lb; la *. hb; ha *. lb; ha *. hb ] in
+              ( List.fold_left Float.min infinity ps,
+                List.fold_left Float.max neg_infinity ps )
+          | Div -> (-.(mag ra), mag ra)
+          | Rem ->
+              let m = Float.min (mag ra) (mag rb) in
+              (-.m, m)
+          | And | Or | Xor ->
+              (* two's complement: the result stays within one bit of the
+                 wider operand *)
+              let m = (2. *. Float.max (mag ra) (mag rb)) +. 1. in
+              if la >= 0. && lb >= 0. then (0., m) else (-.m, m)
+          | Shl -> (
+              match b with
+              | Const k when k >= 0 && k < 62 ->
+                  let f = 2. ** float_of_int k in
+                  (la *. f, ha *. f)
+              | _ -> (neg_infinity, infinity))
+          | Lshr ->
+              if la >= 0. then
+                match b with
+                | Const k when k >= 0 -> (0., ha /. (2. ** float_of_int k))
+                | _ -> (0., ha)
+              else (neg_infinity, infinity))
+  in
+  ignore (range c0 : float * float);
+  !ok
+
 let build_store cs =
   let st = { infos = SymMap.empty; residual = []; changed = false } in
-  List.iter (fun c -> assert_true st c) cs;
+  List.iter
+    (fun c -> if decomposable c then assert_true st c else residual st c)
+    cs;
   st
 
 (* Iterate: substitute fully-determined symbols into residual constraints and
@@ -369,7 +450,9 @@ let propagate_rounds cs =
       (fun c ->
         let c' = substitute c in
         if c' <> c then progressed := true;
-        assert_true st c')
+        (* Substitution shrinks value ranges, so a residual parked by the
+           overflow guard may become decomposable once its symbols pin. *)
+        if decomposable c' then assert_true st c' else residual st c')
       res;
     st.changed || !progressed
   in

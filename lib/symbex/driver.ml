@@ -27,8 +27,10 @@ type stats = {
   explored : int;
   forks : int;
   killed : int;
+  kill_reasons : (string * int) list;
   executed_instrs : int;
   wall_time : float;
+  degraded : bool;
 }
 
 type result = {
@@ -50,21 +52,44 @@ let run program ~mem ~cache config =
     }
   in
   let start = Unix.gettimeofday () in
+  let deadline = Util.Resilience.deadline_in config.time_budget in
   let explored = ref 0
   and forks = ref 0
   and killed = ref 0
   and executed = ref 0 in
+  let kill_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let fault_kill = ref false in
+  let count_kill reason =
+    incr killed;
+    if Exec.reason_is_fault reason then fault_kill := true;
+    let label = Exec.reason_label reason in
+    let cur =
+      match Hashtbl.find_opt kill_counts label with Some n -> n | None -> 0
+    in
+    Hashtbl.replace kill_counts label (cur + 1)
+  in
   let completed = ref [] and n_completed = ref 0 in
+  (* The wall clock is polled every 1024 executed instructions, *inside*
+     [advance]: a single 20k-instruction slice must not overshoot
+     [time_budget].  Once tripped, the flag is sticky. *)
+  let deadline_hit = ref false in
+  let over_deadline () =
+    !deadline_hit
+    || (!executed land 1023 = 0 && Util.Resilience.expired deadline
+        && (deadline_hit := true;
+            true))
+  in
   let out_of_budget () =
     !executed >= config.instr_budget
-    || Unix.gettimeofday () -. start > config.time_budget
+    || !deadline_hit
+    || Util.Resilience.expired deadline
     || !n_completed >= config.max_completed
   in
   (* Execute one state until it forks at a plain branch, finishes a packet,
      or dies; loop-head forks continue greedily on the "one more iteration"
      side (§3.4). *)
   let rec advance s slice =
-    if slice = 0 then Searcher.add searcher s
+    if slice = 0 || over_deadline () then Searcher.add searcher s
     else
       match Exec.step exec_cfg s with
       | Exec.Running s' ->
@@ -84,9 +109,9 @@ let run program ~mem ~cache config =
             incr n_completed
           end
           else Searcher.add searcher s''
-      | Exec.Killed (_, _) ->
+      | Exec.Killed (_, reason) ->
           incr executed;
-          incr killed
+          count_kill reason
   in
   let initial = State.initial program ~cache ~n_packets:config.n_packets ~mem in
   Searcher.add searcher initial;
@@ -102,6 +127,11 @@ let run program ~mem ~cache config =
           loop ()
   in
   loop ();
+  let budget_stop =
+    !deadline_hit
+    || !executed >= config.instr_budget
+    || Util.Resilience.expired deadline
+  in
   let pending = Searcher.drain searcher in
   let score s = State.priority s annot in
   let ranked =
@@ -119,7 +149,14 @@ let run program ~mem ~cache config =
         explored = !explored;
         forks = !forks;
         killed = !killed;
+        kill_reasons =
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) kill_counts []
+          |> List.sort compare;
         executed_instrs = !executed;
         wall_time = Unix.gettimeofday () -. start;
+        (* Degraded: the budget truncated exploration with work pending, or
+           any state died of a fault (as opposed to normal exploration
+           outcomes). *)
+        degraded = (budget_stop && pending <> []) || !fault_kill;
       };
   }

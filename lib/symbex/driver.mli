@@ -26,8 +26,13 @@ type stats = {
   explored : int;  (** states whose execution advanced at least once *)
   forks : int;
   killed : int;
+  kill_reasons : (string * int) list;
+      (** kill counts per {!Exec.reason_label}, sorted by label *)
   executed_instrs : int;
   wall_time : float;
+  degraded : bool;
+      (** the run was budget-truncated with states still pending, or at
+          least one state died of a fault ({!Exec.reason_is_fault}) *)
 }
 
 type result = {
@@ -40,3 +45,9 @@ type result = {
 
 val run :
   Ir.Cfg.t -> mem:Ir.Expr.sexpr Ir.Memory.t -> cache:Cache.Model.t -> config -> result
+(** Exploration is strictly bounded: the wall-clock budget is polled every
+    ~1k executed instructions {e inside} a slice (a single 20k-instruction
+    slice cannot overshoot [time_budget]), and state-local faults (heap
+    exhaustion, out-of-bounds pointers, undefined variables) kill the
+    offending state — accounted in [stats.kill_reasons] — rather than
+    raising out of the driver. *)

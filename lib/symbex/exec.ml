@@ -13,13 +13,51 @@ type fork = {
   at_loop_head : bool;
 }
 
+type kill_reason =
+  | Packet_budget
+  | Heap_exhausted of string
+  | Memory_fault of string
+  | Undefined_var of string
+  | Arity_mismatch of string
+  | No_pointer_target of string
+  | Infeasible_branch
+
+let reason_label = function
+  | Packet_budget -> "packet-budget"
+  | Heap_exhausted _ -> "heap-exhausted"
+  | Memory_fault _ -> "memory-fault"
+  | Undefined_var _ -> "undefined-var"
+  | Arity_mismatch _ -> "arity-mismatch"
+  | No_pointer_target _ -> "no-pointer-target"
+  | Infeasible_branch -> "infeasible-branch"
+
+let reason_message = function
+  | Packet_budget -> "packet instruction budget exhausted"
+  | Heap_exhausted msg -> msg
+  | Memory_fault msg -> "memory fault: " ^ msg
+  | Undefined_var name -> "undefined variable " ^ name
+  | Arity_mismatch func -> "arity mismatch calling " ^ func
+  | No_pointer_target op -> op ^ ": no feasible pointer target"
+  | Infeasible_branch -> "branch: both outcomes infeasible"
+
+(* A state-local fault, distinct from engine bugs: kills the state, never
+   the driver. *)
+let reason_is_fault = function
+  | Heap_exhausted _ | Memory_fault _ | Undefined_var _ | Arity_mismatch _ ->
+      true
+  | Packet_budget | No_pointer_target _ | Infeasible_branch -> false
+
 type step_result =
   | Running of State.t
   | Forked of fork
   | Packet_done of State.t
-  | Killed of State.t * string
+  | Killed of State.t * kill_reason
 
 open State
+
+(* Internal signal for state-local faults detected mid-instruction; [step]
+   converts it into [Killed]. *)
+exception Fault of kill_reason
 
 (* Evaluate a program expression to a symbolic value under the frame
    environment. *)
@@ -27,7 +65,7 @@ let eval_pexpr (frame : frame) (e : Ir.Expr.pexpr) : Ir.Expr.sexpr =
   let lookup name =
     match Smap.find_opt name frame.env with
     | Some v -> v
-    | None -> invalid_arg ("Exec: undefined variable " ^ name)
+    | None -> raise (Fault (Undefined_var name))
   in
   Solver.Simplify.expr (Ir.Expr.subst lookup e)
 
@@ -98,15 +136,18 @@ let branch_constraints cond =
 
 let rec step cfg (t : State.t) : step_result =
   if t.finished then invalid_arg "Exec.step: state already finished";
-  if t.steps >= cfg.packet_budget then Killed (t, "packet instruction budget")
+  if t.steps >= cfg.packet_budget then Killed (t, Packet_budget)
   else
     let frame = t.frame in
     let instr = frame.func.Ir.Cfg.body.(frame.pc) in
-    try step_instr cfg t frame instr
-    with Invalid_argument msg when String.length msg >= 6 && String.sub msg 0 6 = "Memory" ->
-      (* An infeasible pointer slipped past the solver (Unknown verdicts are
-         treated as feasible); the state dies here rather than the engine. *)
-      Killed (t, "memory fault: " ^ msg)
+    try step_instr cfg t frame instr with
+    | Fault reason -> Killed (t, reason)
+    | Invalid_argument msg
+      when String.length msg >= 6 && String.sub msg 0 6 = "Memory" ->
+        (* An infeasible pointer slipped past the solver (Unknown verdicts
+           are treated as feasible); the state dies here rather than the
+           engine. *)
+        Killed (t, Memory_fault msg)
 
 and step_instr cfg (t : State.t) frame instr : step_result =
     match instr with
@@ -118,7 +159,11 @@ and step_instr cfg (t : State.t) frame instr : step_result =
         let addr_e = eval_pexpr frame addr in
         let finish t concrete_addr o_latency o_miss extra_pc =
           let pcs = match extra_pc with Some c -> c :: t.State.pcs | None -> t.State.pcs in
-          let value = Ir.Memory.read t.State.mem ~addr:concrete_addr ~width in
+          let value =
+            match Ir.Memory.try_read t.State.mem ~addr:concrete_addr ~width with
+            | Ok v -> v
+            | Error msg -> raise (Fault (Memory_fault msg))
+          in
           let t = { t with State.pcs } in
           let t =
             charge cfg t instr ~mem_latency:o_latency ~load:true ~miss:o_miss ()
@@ -131,7 +176,7 @@ and step_instr cfg (t : State.t) frame instr : step_result =
               Cache.Model.access_symbolic t.cache ~pcs:t.pcs addr_e
             in
             Running (finish { t with cache } o.addr o.latency o.miss o.added)
-        | Small [] -> Killed (t, "load: no feasible pointer target")
+        | Small [] -> Killed (t, No_pointer_target "load")
         | Small [ (v, c) ] ->
             let cache, o = Cache.Model.access_concrete t.cache v in
             Running (finish { t with cache } o.addr o.latency o.miss (Some c))
@@ -157,7 +202,11 @@ and step_instr cfg (t : State.t) frame instr : step_result =
         let v = eval_pexpr frame value in
         let finish t concrete_addr o_latency o_miss extra_pc =
           let pcs = match extra_pc with Some c -> c :: t.State.pcs | None -> t.State.pcs in
-          let mem = Ir.Memory.write t.State.mem ~addr:concrete_addr ~width v in
+          let mem =
+            match Ir.Memory.try_write t.State.mem ~addr:concrete_addr ~width v with
+            | Ok mem -> mem
+            | Error msg -> raise (Fault (Memory_fault msg))
+          in
           let t = { t with State.pcs; mem } in
           let t =
             charge cfg t instr ~mem_latency:o_latency ~store:true ~miss:o_miss ()
@@ -170,7 +219,7 @@ and step_instr cfg (t : State.t) frame instr : step_result =
               Cache.Model.access_symbolic t.cache ~pcs:t.pcs addr_e
             in
             Running (finish { t with cache } o.addr o.latency o.miss o.added)
-        | Small [] -> Killed (t, "store: no feasible pointer target")
+        | Small [] -> Killed (t, No_pointer_target "store")
         | Small [ (v, c) ] ->
             let cache, o = Cache.Model.access_concrete t.cache v in
             Running (finish { t with cache } o.addr o.latency o.miss (Some c))
@@ -191,10 +240,12 @@ and step_instr cfg (t : State.t) frame instr : step_result =
                 deferred = List.tl children;
                 at_loop_head = false;
               })
-    | Ir.Cfg.Alloc { dst; bytes } ->
-        let mem, base = Ir.Memory.alloc t.mem ~bytes in
-        let t = charge cfg { t with mem } instr () in
-        Running (advance (set_var t dst (Ir.Expr.Const base)) (frame.pc + 1))
+    | Ir.Cfg.Alloc { dst; bytes } -> (
+        match Ir.Memory.try_alloc t.mem ~bytes with
+        | Error msg -> Killed (t, Heap_exhausted msg)
+        | Ok (mem, base) ->
+            let t = charge cfg { t with mem } instr () in
+            Running (advance (set_var t dst (Ir.Expr.Const base)) (frame.pc + 1)))
     | Ir.Cfg.Jump target ->
         let t = charge cfg t instr () in
         Running (advance t target)
@@ -211,7 +262,7 @@ and step_instr cfg (t : State.t) frame instr : step_result =
             match (feasible taken_c, feasible not_taken_c) with
             | true, false -> Running (mk taken_c if_true)
             | false, true -> Running (mk not_taken_c if_false)
-            | false, false -> Killed (t, "branch: both outcomes infeasible")
+            | false, false -> Killed (t, Infeasible_branch)
             | true, true ->
                 let taken = { (mk taken_c if_true) with id = fresh_fork_id () } in
                 let not_taken =
@@ -228,7 +279,7 @@ and step_instr cfg (t : State.t) frame instr : step_result =
     | Ir.Cfg.Call { dst; func; args } ->
         let callee = Ir.Cfg.func t.program func in
         if List.length args <> List.length callee.params then
-          invalid_arg ("Exec: arity mismatch calling " ^ func);
+          raise (Fault (Arity_mismatch func));
         let bindings =
           List.map2
             (fun param arg -> (param, eval_pexpr frame arg))

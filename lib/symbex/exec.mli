@@ -24,12 +24,38 @@ type fork = {
   at_loop_head : bool;
 }
 
+type kill_reason =
+  | Packet_budget  (** per-packet raw instruction budget exhausted *)
+  | Heap_exhausted of string  (** [Alloc] with no heap left *)
+  | Memory_fault of string  (** out-of-bounds, misaligned or wrong-width *)
+  | Undefined_var of string
+  | Arity_mismatch of string  (** callee name *)
+  | No_pointer_target of string  (** ["load"] or ["store"] *)
+  | Infeasible_branch  (** both outcomes contradict the path constraint *)
+
+val reason_label : kill_reason -> string
+(** Coarse bucket for accounting (e.g. ["heap-exhausted"]) — the keys of
+    {!Driver.stats.kill_reasons}. *)
+
+val reason_message : kill_reason -> string
+(** Human-readable detail. *)
+
+val reason_is_fault : kill_reason -> bool
+(** True for state-local faults (heap exhaustion, memory faults, undefined
+    variables, arity mismatches) as opposed to normal exploration outcomes
+    (budget, infeasibility).  Any fault kill marks the driver run
+    degraded. *)
+
 type step_result =
   | Running of State.t
   | Forked of fork
   | Packet_done of State.t  (** the entry function returned *)
-  | Killed of State.t * string  (** infeasible branch, budget, or fault *)
+  | Killed of State.t * kill_reason
+      (** the state died; the engine and its siblings continue *)
 
 val step : config -> State.t -> step_result
-(** @raise Invalid_argument on malformed programs (undefined variables,
-    arity mismatches). *)
+(** Never raises for state-local conditions — heap exhaustion, undefined
+    variables, arity mismatches, out-of-bounds accesses all come back as
+    [Killed] with a structured reason.
+    @raise Invalid_argument only on engine misuse (stepping a finished
+    state, unknown callee in a malformed program). *)

@@ -1,0 +1,129 @@
+type failure = {
+  stage : string;
+  nf : string option;
+  reason : string;
+  backtrace : string;
+}
+
+let failure ?nf ?(backtrace = "") ~stage reason = { stage; nf; reason; backtrace }
+
+let to_string f =
+  match f.nf with
+  | Some nf -> Printf.sprintf "%s(%s): %s" f.stage nf f.reason
+  | None -> Printf.sprintf "%s: %s" f.stage f.reason
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+
+let by_stage failures =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let cur = match Hashtbl.find_opt counts f.stage with Some n -> n | None -> 0 in
+      Hashtbl.replace counts f.stage (cur + 1))
+    failures;
+  Hashtbl.fold (fun stage n acc -> (stage, n) :: acc) counts []
+  |> List.sort compare
+
+exception Injected of failure
+
+let () =
+  Printexc.register_printer (function
+    | Injected f -> Some ("injected fault: " ^ to_string f)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Fail-fast and the failure sink                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fail_fast_flag = ref false
+let set_fail_fast b = fail_fast_flag := b
+let fail_fast () = !fail_fast_flag
+
+let sink : failure list ref = ref []
+let record f = sink := f :: !sink
+let recorded () = List.rev !sink
+let reset () = sink := []
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let guard ?nf ~stage f =
+  try Ok (f ())
+  with e when not !fail_fast_flag ->
+    let fl =
+      match e with
+      | Injected fl -> fl
+      | e ->
+          failure ?nf ~stage
+            ~backtrace:(Printexc.get_backtrace ())
+            (Printexc.to_string e)
+    in
+    record fl;
+    Error fl
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type deadline = float option (* absolute gettimeofday instant *)
+
+let no_deadline = None
+let deadline_in seconds = Some (Unix.gettimeofday () +. seconds)
+
+let expired = function
+  | None -> false
+  | Some t -> Unix.gettimeofday () >= t
+
+let remaining = function
+  | None -> infinity
+  | Some t -> Float.max 0. (t -. Unix.gettimeofday ())
+
+(* ------------------------------------------------------------------ *)
+(* Retry with backoff                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let retry ?(attempts = 3) ?(base_delay = 0.05) ?(max_delay = 1.0)
+    ?(sleep = Unix.sleepf) ~rng ~stage ?nf f =
+  let attempts = max 1 attempts in
+  let rec go k =
+    match f k with
+    | Ok _ as ok -> ok
+    | Error _ as err when k + 1 >= attempts -> err
+    | Error _ ->
+        let backoff = Float.min max_delay (base_delay *. (2. ** float_of_int k)) in
+        let jitter = 0.5 +. Rng.float rng in
+        sleep (backoff *. jitter);
+        go (k + 1)
+  in
+  match go 0 with
+  | Ok _ as ok -> ok
+  | Error last ->
+      Error
+        { last with
+          stage = (if last.stage = "" then stage else last.stage);
+          nf = (match last.nf with None -> nf | some -> some);
+          reason = Printf.sprintf "%s (after %d attempts)" last.reason attempts;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type injector = { rate : float; rng : Rng.t }
+
+let inject ~rate ~seed = { rate; rng = Rng.create (0xfa17 lxor seed) }
+
+let ambient : injector option ref = ref None
+let set_injection i = ambient := i
+let injection_active () = !ambient <> None
+
+let checkpoint ?nf ~stage () =
+  match !ambient with
+  | None -> ()
+  | Some { rate; rng } ->
+      (* rate = 0. must not even draw: a disabled injector is bit-identical
+         to no injector at all. *)
+      if rate > 0. && Rng.float rng < rate then
+        raise
+          (Injected (failure ?nf ~stage "injected fault (--inject-faults)"))

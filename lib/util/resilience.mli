@@ -1,0 +1,137 @@
+(** Failure containment for the analysis pipeline.
+
+    CASTAN's value is the end-to-end evaluation: one harness run drives all
+    eleven NFs through symbolic execution, constraint solving, hash reversal
+    and the simulated testbed.  Any of those stages can die — heap
+    exhaustion inside symbex, an unsolvable path constraint, a malformed
+    contention-set file — and a single uncontained exception used to abort
+    the whole campaign.  This module is the failure-semantics contract every
+    stage now follows:
+
+    - stage failures are {e values} ([('a, failure) result]), carrying the
+      stage name, the NF being analyzed, the reason and a backtrace;
+    - long stages run against {e deadlines} that can be polled cheaply from
+      inner loops;
+    - transient stages can be {e retried} with deterministic,
+      seeded-jitter exponential backoff;
+    - the degradation paths are themselves testable through a seeded
+      {e fault injector} that probabilistically trips guarded stages.
+
+    Failures funnel into a process-wide sink so the end of a run can print
+    an error summary and choose an exit code (clean / completed-degraded /
+    fatal). *)
+
+type failure = {
+  stage : string;  (** pipeline stage, e.g. ["symbex"] or ["testbed"] *)
+  nf : string option;  (** network function under analysis, if any *)
+  reason : string;
+  backtrace : string;  (** possibly empty *)
+}
+
+val failure : ?nf:string -> ?backtrace:string -> stage:string -> string -> failure
+(** [failure ~stage reason] builds a failure value; backtrace defaults to
+    empty. *)
+
+val to_string : failure -> string
+(** One line: [stage(nf): reason]. *)
+
+val pp : Format.formatter -> failure -> unit
+
+val by_stage : failure list -> (string * int) list
+(** Failure counts grouped by stage, sorted by stage name. *)
+
+exception Injected of failure
+(** Raised by {!checkpoint} when the ambient fault injector fires. *)
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+val guard : ?nf:string -> stage:string -> (unit -> 'a) -> ('a, failure) result
+(** [guard ~stage f] runs [f] and converts any exception into [Error] — an
+    {!Injected} fault keeps the stage recorded at its injection point,
+    anything else is attributed to [stage].  Failures are also appended to
+    the {!recorded} sink.  When {!set_fail_fast} is on, exceptions propagate
+    unchanged so the caller aborts on first failure. *)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type deadline
+
+val no_deadline : deadline
+(** Never expires. *)
+
+val deadline_in : float -> deadline
+(** [deadline_in seconds] expires [seconds] of wall time from now. *)
+
+val expired : deadline -> bool
+(** Cheap enough to poll from an interpreter loop. *)
+
+val remaining : deadline -> float
+(** Seconds left; [infinity] for {!no_deadline}, clamped at [0.]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Retry with backoff                                                  *)
+(* ------------------------------------------------------------------ *)
+
+val retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?sleep:(float -> unit) ->
+  rng:Rng.t ->
+  stage:string ->
+  ?nf:string ->
+  (int -> ('a, failure) result) ->
+  ('a, failure) result
+(** [retry ~rng ~stage f] calls [f 0], [f 1], ... until one returns [Ok] or
+    [attempts] (default 3) are exhausted; the last [Error] is returned.
+    Between attempts it sleeps [min max_delay (base_delay * 2^k)] scaled by
+    a jitter factor in [\[0.5, 1.5)] drawn from [rng] — equal seeds yield
+    equal delay sequences, which is what makes retrying stages testable.
+    Defaults: [base_delay = 0.05]s, [max_delay = 1.0]s, [sleep =
+    Unix.sleepf]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type injector
+
+val inject : rate:float -> seed:int -> injector
+(** [inject ~rate ~seed] fires on each {!checkpoint} independently with
+    probability [rate], deterministically from [seed].  [rate = 0.] never
+    fires (and {!checkpoint} stays a no-op, preserving bit-identical
+    behaviour); [rate = 1.] always fires. *)
+
+val set_injection : injector option -> unit
+(** Installs (or clears) the ambient injector consulted by
+    {!checkpoint}.  Default: none. *)
+
+val injection_active : unit -> bool
+
+val checkpoint : ?nf:string -> stage:string -> unit -> unit
+(** Marks the entry of a guarded stage.  No-op unless an ambient injector
+    is installed and fires, in which case {!Injected} is raised (and
+    subsequently converted to [Error] by the enclosing {!guard}). *)
+
+(* ------------------------------------------------------------------ *)
+(* Fail-fast and the failure sink                                      *)
+(* ------------------------------------------------------------------ *)
+
+val set_fail_fast : bool -> unit
+(** When on, {!guard} re-raises instead of containing (exit code 1
+    territory).  Default: off. *)
+
+val fail_fast : unit -> bool
+
+val record : failure -> unit
+(** Appends to the process-wide sink ({!guard} does this automatically). *)
+
+val recorded : unit -> failure list
+(** All failures recorded so far, oldest first. *)
+
+val reset : unit -> unit
+(** Clears the sink (tests; the CLI resets between runs). *)

@@ -11,4 +11,5 @@ let () =
       ("nf", Test_nf.tests);
       ("testbed", Test_testbed.tests);
       ("core", Test_core.tests);
+      ("resilience", Test_resilience.tests);
     ]

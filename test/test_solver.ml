@@ -284,7 +284,7 @@ let feasible_never_rejects_sat =
    Unsat. *)
 let never_unsat_on_satisfiable =
   QCheck.Test.make ~name:"sat never rejects a satisfiable set" ~count:300
-    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 6) (QCheck.make gen_sexpr)))
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 6) arb_sexpr))
     (fun (seed, es) ->
       let leaf = assignment_of seed in
       (* turn each random expression into a constraint satisfied by [leaf] *)
