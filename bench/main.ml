@@ -6,11 +6,13 @@
      dune exec bench/main.exe -- -e fig4      -- one experiment
      dune exec bench/main.exe -- --quick      -- scaled-down smoke run
      dune exec bench/main.exe -- --full       -- paper-scale workloads
-     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --json r.json -- machine-readable results *)
 
 let experiment_config = ref Castan.Experiment.default_config
 let selected : string list ref = ref []
 let run_micro = ref false
+let json_out : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation behind each table     *)
@@ -98,6 +100,9 @@ let () =
     | "--micro" :: rest ->
         run_micro := true;
         parse rest
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\nknown experiments: %s\n" arg
           (String.concat ", " Castan.Harness.ids);
@@ -112,5 +117,42 @@ let () =
       | `Quick -> "quick"
       | `Default -> "default"
       | `Paper -> "paper");
-    List.iter (Castan.Harness.run_id !experiment_config) ids
+    if Option.is_some !json_out then Obs.Metrics.set_active true;
+    let timed =
+      List.map
+        (fun id -> (id, Castan.Harness.run_id !experiment_config id))
+        ids
+    in
+    match !json_out with
+    | None -> ()
+    | Some path ->
+        (* A directory target gets a date-stamped file so repeated campaigns
+           accumulate instead of overwriting. *)
+        let path =
+          if Sys.file_exists path && Sys.is_directory path then
+            let tm = Unix.localtime (Unix.gettimeofday ()) in
+            Filename.concat path
+              (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+                 (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+          else path
+        in
+        let manifest =
+          Castan.Manifest.make ~ids ~config:!experiment_config
+            ~extra:
+              [
+                ( "experiments_timed",
+                  Obs.Json.List
+                    (List.map
+                       (fun (id, seconds) ->
+                         Obs.Json.Obj
+                           [
+                             ("id", Obs.Json.Str id);
+                             ("seconds", Obs.Json.Float seconds);
+                           ])
+                       timed) );
+              ]
+            ()
+        in
+        Castan.Manifest.write ~path manifest;
+        Printf.printf "wrote %s\n%!" path
   end

@@ -13,6 +13,50 @@ let nf_arg =
   let doc = "Network function name (see `castan list')." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NF" ~doc)
 
+(* ---------------- telemetry plumbing ---------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Stream hierarchical spans as Chrome trace_event JSON objects, \
+               one per line, to FILE (wrap in [...] or `jq -s .' to load in \
+               chrome://tracing or Perfetto).  FILE `-' prints an aggregate \
+               per-span summary to stderr at exit instead.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write a run manifest (tool/git revision, configuration, and \
+               the final metrics snapshot: counters, gauges, latency \
+               histograms) as JSON to FILE at exit.")
+
+let log_level_arg =
+  let level_conv =
+    Arg.enum
+      [ ("quiet", Obs.Log.Quiet); ("info", Obs.Log.Info); ("debug", Obs.Log.Debug) ]
+  in
+  Arg.(value & opt level_conv Obs.Log.Quiet & info [ "log-level" ] ~docv:"LEVEL"
+         ~doc:"Diagnostic verbosity on stderr: $(b,quiet) (default, output \
+               identical to an un-instrumented run), $(b,info) or \
+               $(b,debug).")
+
+(* Sinks are installed before the run; the manifest (which snapshots the
+   metrics) is written and the trace sink closed from [at_exit], so the
+   telemetry files are complete even on degraded (exit 2) runs. *)
+let install_telemetry ~trace ~metrics ~log_level ~manifest =
+  Obs.Log.set_level log_level;
+  (match trace with
+  | Some "-" -> Obs.Trace.set_sink (Obs.Sink.stderr_summary ())
+  | Some path -> Obs.Trace.set_sink (Obs.Sink.file path)
+  | None -> ());
+  if Option.is_some metrics then Obs.Metrics.set_active true;
+  if Option.is_some trace || Option.is_some metrics then
+    at_exit (fun () ->
+        (match metrics with
+        | Some path ->
+            Castan.Manifest.write ~path (manifest ());
+            Obs.Log.info "wrote metrics manifest %s" path
+        | None -> ());
+        Obs.Trace.close ())
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -54,7 +98,10 @@ let analyze_cmd =
            ~doc:"Also write PREFIX.ktest and PREFIX.metrics (the analysis \
                  outputs of the paper's §4).")
   in
-  let run name output packets budget no_contention cache_model_file ktest =
+  let run name output packets budget no_contention cache_model_file ktest
+      trace metrics log_level =
+    install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
+        Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
     let nf = Nf.Registry.find name in
     let cache =
       match cache_model_file with
@@ -77,7 +124,11 @@ let analyze_cmd =
         time_budget = budget;
       }
     in
-    let o = Castan.Analyze.run ~config nf in
+    let o =
+      Obs.Trace.with_span "run"
+        ~args:[ ("nf", Obs.Json.Str name) ]
+        (fun () -> Castan.Analyze.run ~config nf)
+    in
     Printf.printf
       "%s: %d packets, predicted %d cycles total, %d/%d havocs reconciled, \
        %d states explored in %.1fs\n"
@@ -108,7 +159,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Synthesize an adversarial workload for an NF")
     Term.(
       const run $ nf_arg $ output $ packets $ budget $ no_contention
-      $ cache_model_file $ ktest)
+      $ cache_model_file $ ktest $ trace_arg $ metrics_arg $ log_level_arg)
 
 (* ---------------- probe-cache ---------------- *)
 
@@ -259,7 +310,7 @@ let experiment_cmd =
                  degradation paths.  RATE 0.0 is bit-identical to no \
                  injection.")
   in
-  let run id quick fail_fast inject =
+  let run id quick fail_fast inject trace metrics log_level =
     Util.Resilience.reset ();
     Util.Resilience.set_fail_fast fail_fast;
     Util.Resilience.set_injection
@@ -276,10 +327,18 @@ let experiment_cmd =
         if quick then Castan.Experiment.quick_config
         else Castan.Experiment.default_config
       in
+      let ids = Castan.Harness.expand_id id in
+      install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
+          Castan.Manifest.make ~ids ~config ());
       (* Exit codes: 0 = clean, 2 = completed but degraded (failures were
          contained and summarized), 1 = fatal (fail-fast or unknown id). *)
       match
-        List.iter (Castan.Harness.run_id config) (Castan.Harness.expand_id id)
+        Obs.Trace.with_span "run"
+          ~args:[ ("id", Obs.Json.Str id) ]
+          (fun () ->
+            List.iter
+              (fun i -> ignore (Castan.Harness.run_id config i : float))
+              ids)
       with
       | () ->
           let failures = Util.Resilience.recorded () in
@@ -299,7 +358,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables, figures or ablations")
-    Term.(const run $ id $ quick $ fail_fast $ inject)
+    Term.(
+      const run $ id $ quick $ fail_fast $ inject $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let () =
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in

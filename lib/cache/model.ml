@@ -111,9 +111,17 @@ let touch t line =
     ({ t with resident = Imap.add key lines t.resident; cached;
        touched = Iset.add line t.touched }, true)
 
+(* Telemetry: the model's own hit/miss balance (the adversarial-search side,
+   not the measurement testbed) plus how symbolic pointers were pinned. *)
+let m_hit = Obs.Metrics.counter "cache.model.hit"
+let m_miss = Obs.Metrics.counter "cache.model.miss"
+let m_concretized = Obs.Metrics.counter "cache.model.concretizations"
+let m_fallback = Obs.Metrics.counter "cache.model.concretization_fallbacks"
+
 let access_concrete t vaddr =
   let line = line_of t vaddr in
   let t', miss = touch t line in
+  Obs.Metrics.incr (if miss then m_miss else m_hit);
   let latency =
     if miss then t.geom.Geometry.lat_dram else t.geom.Geometry.lat_l3
   in
@@ -262,6 +270,7 @@ let access_symbolic t ~pcs expr =
       let t', o = access_concrete t v in
       (t', { o with added = None })
   | e ->
+      Obs.Metrics.incr m_concretized;
       let dom = Solver.Solve.domain_of pcs e in
       let cands = candidates t dom ~limit:96 in
       let rec first_compatible tried = function
@@ -280,6 +289,7 @@ let access_symbolic t ~pcs expr =
             (* No scored candidate fits; fall back to whatever a satisfying
                model of the path constraint makes the pointer evaluate to —
                compatible by construction. *)
+            Obs.Metrics.incr m_fallback;
             match Solver.Solve.sat pcs with
             | Sat m ->
                 let v = Solver.Solve.Model.eval m e in

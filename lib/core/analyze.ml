@@ -116,9 +116,18 @@ let synthesize (nf : Nf.Nf_def.t) ~rng ~n_packets (s : Symbex.State.t) =
     | None -> None
   in
   let r =
-    Hashrev.Reconcile.run ~tables ~rng ~pcs:s.Symbex.State.pcs ~havocs ()
+    Obs.Trace.with_span "analyze.reconcile"
+      ~args:[ ("havocs", Obs.Json.Int (List.length havocs)) ]
+      (fun () ->
+        Hashrev.Reconcile.run ~tables ~rng ~pcs:s.Symbex.State.pcs ~havocs ())
   in
-  match Solver.Solve.sat ~rng ~attempts:4000 r.Hashrev.Reconcile.constraints with
+  match
+    Obs.Trace.with_span "analyze.solve"
+      ~args:
+        [ ("constraints", Obs.Json.Int (List.length r.Hashrev.Reconcile.constraints)) ]
+      (fun () ->
+        Solver.Solve.sat ~rng ~attempts:4000 r.Hashrev.Reconcile.constraints)
+  with
   | Sat model ->
       (* The paper's workloads are "N packets, each in a different flow".
          Fields the path never constrained come back identical; perturb them
@@ -163,30 +172,37 @@ let run ?config (nf : Nf.Nf_def.t) =
     match cfg.n_packets with Some n -> n | None -> nf.Nf.Nf_def.castan_packets
   in
   let t0 = Unix.gettimeofday () in
-  let geom = Cache.Geometry.xeon_e5_2667v2 in
-  let costs =
-    Symbex.Costs.default
-      ~hash_weight:(fun name ->
-        match Hashrev.Hashes.lookup name with
-        | h -> h.Hashrev.Hashes.weight
-        | exception Invalid_argument _ -> 24)
-      geom
+  let nf_arg = [ ("nf", Obs.Json.Str nf.Nf.Nf_def.name) ] in
+  let driver_cfg, mem, cache =
+    Obs.Trace.with_span "analyze.build" ~args:nf_arg (fun () ->
+        let geom = Cache.Geometry.xeon_e5_2667v2 in
+        let costs =
+          Symbex.Costs.default
+            ~hash_weight:(fun name ->
+              match Hashrev.Hashes.lookup name with
+              | h -> h.Hashrev.Hashes.weight
+              | exception Invalid_argument _ -> 24)
+            geom
+        in
+        let driver_cfg =
+          {
+            (Symbex.Driver.default_config ~n_packets costs) with
+            strategy = cfg.strategy;
+            m = cfg.m;
+            hash_bits = nf.Nf.Nf_def.hash_bits;
+            time_budget = cfg.time_budget;
+            instr_budget = cfg.instr_budget;
+          }
+        in
+        (driver_cfg, Nf.Nf_def.fresh_symbolic_memory nf, cache_model cfg.cache))
   in
-  let driver_cfg =
-    {
-      (Symbex.Driver.default_config ~n_packets costs) with
-      strategy = cfg.strategy;
-      m = cfg.m;
-      hash_bits = nf.Nf.Nf_def.hash_bits;
-      time_budget = cfg.time_budget;
-      instr_budget = cfg.instr_budget;
-    }
-  in
-  let mem = Nf.Nf_def.fresh_symbolic_memory nf in
   let result =
-    Symbex.Driver.run nf.Nf.Nf_def.program ~mem ~cache:(cache_model cfg.cache)
-      driver_cfg
+    Obs.Trace.with_span "analyze.explore" ~args:nf_arg (fun () ->
+        Symbex.Driver.run nf.Nf.Nf_def.program ~mem ~cache driver_cfg)
   in
+  Obs.Log.debug "analyze %s: explored %d states (%d completed paths)"
+    nf.Nf.Nf_def.name result.Symbex.Driver.stats.Symbex.Driver.explored
+    (List.length result.Symbex.Driver.completed);
   let rng = Util.Rng.create (0xadd + cfg.seed) in
   let rec try_states tried = function
     | [] ->
@@ -215,4 +231,5 @@ let run ?config (nf : Nf.Nf_def.t) =
               }
           | None -> try_states (tried + 1) rest)
   in
-  try_states 0 result.Symbex.Driver.ranked
+  Obs.Trace.with_span "analyze.synthesize" ~args:nf_arg (fun () ->
+      try_states 0 result.Symbex.Driver.ranked)

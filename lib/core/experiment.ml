@@ -51,8 +51,12 @@ let cache_key name (c : config) =
    no-ops unless `--inject-faults` installed an injector. *)
 let campaign name config =
   let ( let* ) = Result.bind in
+  let nf_arg = [ ("nf", Obs.Json.Str name) ] in
   let* nf, castan =
     Util.Resilience.guard ~nf:name ~stage:"symbex" (fun () ->
+        Obs.Trace.with_span "stage.symbex" ~args:nf_arg @@ fun () ->
+        Obs.Log.info "campaign %s: symbex (budget %.1fs, %d instrs)" name
+          config.analysis_time config.analysis_instrs;
         Util.Resilience.checkpoint ~nf:name ~stage:"symbex" ();
         let nf = Nf.Registry.find name in
         let analysis_cfg =
@@ -73,12 +77,18 @@ let campaign name config =
         (nf, Analyze.run ~config:analysis_cfg nf))
   in
   Util.Resilience.guard ~nf:name ~stage:"testbed" (fun () ->
+      Obs.Trace.with_span "stage.testbed" ~args:nf_arg @@ fun () ->
+      Obs.Log.info "campaign %s: testbed (%d samples)" name config.samples;
       Util.Resilience.checkpoint ~nf:name ~stage:"testbed" ();
       let shape = Testbed.Workload.shape nf.Nf.Nf_def.shape in
       let seed = config.seed in
       let samples = config.samples in
       let castan_flows = Testbed.Workload.flows castan.Analyze.workload in
-      let measure w = Testbed.Tg.measure ~seed ~samples nf w in
+      let measure label w =
+        Obs.Trace.with_span "measure"
+          ~args:(("workload", Obs.Json.Str label) :: nf_arg)
+          (fun () -> Testbed.Tg.measure ~seed ~samples nf w)
+      in
       let generic =
         [
           ("1 Packet", shape (Testbed.Traffic.one_packet ()));
@@ -102,7 +112,7 @@ let campaign name config =
       in
       let rows =
         List.map
-          (fun (label, w) -> { label; measurement = measure w })
+          (fun (label, w) -> { label; measurement = measure label w })
           (generic @ manual)
       in
       { nf; nop = Testbed.Tg.nop_baseline ~seed ~samples (); rows; castan })

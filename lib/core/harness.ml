@@ -461,23 +461,27 @@ let expand_id = function
   | "all" -> ids
   | id -> [ id ]
 
-let run_id config id =
+let run_id config id : float =
   match find id with
   | None ->
       invalid_arg
         (Printf.sprintf "Harness.run_id: unknown experiment %s (known: %s)" id
            (String.concat ", " (ids @ [ "tables"; "figures"; "all" ])))
-  | Some e -> (
-      let t0 = Unix.gettimeofday () in
+  | Some e ->
       (* The whole entry is guarded too: an ablation dying (beyond the
          per-NF isolation of the tables) degrades to a one-line failure
          instead of aborting the run.  With fail-fast on, the exception
-         propagates. *)
-      match
-        Util.Resilience.guard ~stage:("experiment:" ^ id) (fun () ->
-            e.run config)
-      with
-      | Ok () ->
-          Printf.printf "[%s done in %.1fs]\n%!" id (Unix.gettimeofday () -. t0)
+         propagates.  The trailer's wall time comes from the same span the
+         trace file records, so human and machine output cannot disagree. *)
+      let result, elapsed =
+        Obs.Trace.timed ("experiment:" ^ id)
+          ~args:[ ("descr", Obs.Json.Str e.descr) ]
+          (fun () ->
+            Util.Resilience.guard ~stage:("experiment:" ^ id) (fun () ->
+                e.run config))
+      in
+      (match result with
+      | Ok () -> Printf.printf "[%s done in %.1fs]\n%!" id elapsed
       | Error f ->
-          Printf.printf "[%s failed: %s]\n%!" id (Util.Resilience.to_string f))
+          Printf.printf "[%s failed: %s]\n%!" id (Util.Resilience.to_string f));
+      elapsed

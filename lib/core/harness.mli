@@ -20,10 +20,12 @@ val expand_id : string -> string list
 (** Meta-ids: ["tables"], ["figures"] and ["all"] expand to their groups;
     any other id expands to itself (validity checked by {!run_id}). *)
 
-val run_id : Experiment.config -> string -> unit
+val run_id : Experiment.config -> string -> float
 (** Runs one entry (guarded: a failing entry prints [\[id failed: ...\]] and
     records the failure instead of raising, unless fail-fast is on) and
-    prints a timing trailer.
+    prints a timing trailer; returns the entry's wall time in seconds.  The
+    trailer and the return value both come from the {!Obs.Trace.timed} span
+    the trace stream records, so the three can never disagree.
     @raise Invalid_argument on unknown ids (message lists known ones). *)
 
 val figure_nfs : (string * string) list

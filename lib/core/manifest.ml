@@ -1,0 +1,46 @@
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let scale_name = function `Quick -> "quick" | `Default -> "default" | `Paper -> "paper"
+
+let config_json (c : Experiment.config) =
+  Obs.Json.Obj
+    [
+      ("scale", Obs.Json.Str (scale_name c.Experiment.scale));
+      ("samples", Obs.Json.Int c.Experiment.samples);
+      ("analysis_time", Obs.Json.Float c.Experiment.analysis_time);
+      ("analysis_instrs", Obs.Json.Int c.Experiment.analysis_instrs);
+      ("use_contention_model", Obs.Json.Bool c.Experiment.use_contention_model);
+      ("seed", Obs.Json.Int c.Experiment.seed);
+    ]
+
+let make ?ids ?config ?(extra = []) () =
+  Obs.Json.Obj
+    ([
+       ("tool", Obs.Json.Str "castan");
+       ("version", Obs.Json.Str "1.0.0");
+       ("generated_at_unix", Obs.Json.Float (Unix.gettimeofday ()));
+       ("git", Obs.Json.Str (git_describe ()));
+     ]
+    @ (match ids with
+      | Some l -> [ ("experiments", Obs.Json.List (List.map (fun i -> Obs.Json.Str i) l)) ]
+      | None -> [])
+    @ (match config with
+      | Some c -> [ ("config", config_json c); ("seed", Obs.Json.Int c.Experiment.seed) ]
+      | None -> [])
+    @ extra
+    @ [ ("metrics", Obs.Metrics.snapshot ()) ])
+
+let write ~path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc

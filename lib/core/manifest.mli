@@ -1,0 +1,27 @@
+(** Run manifests: a machine-readable record of what produced a set of
+    results — tool version, git revision, experiment ids, the full
+    {!Experiment.config} (including the seed), and the final
+    {!Obs.Metrics.snapshot}.
+
+    Written by [castan experiment --metrics FILE] and (with bench timings
+    spliced in) by [bench/main.exe --json PATH], so every artifact of a run
+    names the code and configuration that made it. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty] of the working tree, or ["unknown"] when
+    git (or the repository) is unavailable.  Never raises. *)
+
+val config_json : Experiment.config -> Obs.Json.t
+
+val make :
+  ?ids:string list ->
+  ?config:Experiment.config ->
+  ?extra:(string * Obs.Json.t) list ->
+  unit ->
+  Obs.Json.t
+(** Builds the manifest object.  [extra] fields are appended at the top
+    level (the bench harness adds per-experiment wall times).  The metrics
+    snapshot is taken at call time — build the manifest {e after} the run. *)
+
+val write : path:string -> Obs.Json.t -> unit
+(** Writes the manifest followed by a newline. *)

@@ -1,0 +1,28 @@
+(** A minimal JSON value: just enough to emit telemetry (traces, metric
+    snapshots, manifests) and to validate it back, with no external
+    dependency.  Numbers are split into [Int] and [Float] so counters
+    round-trip exactly; floats are emitted with enough digits to reparse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping.  Non-finite
+    floats are rendered as [null] so the output always reparses. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Errors carry a character offset.  Numbers without
+    [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks a field up; [None] on missing keys and
+    non-objects. *)

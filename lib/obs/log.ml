@@ -1,0 +1,23 @@
+type level = Quiet | Info | Debug
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+
+let current = ref Quiet
+let set_level l = current := l
+let level () = !current
+
+let level_of_string = function
+  | "quiet" -> Some Quiet
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let level_name = function Quiet -> "quiet" | Info -> "info" | Debug -> "debug"
+
+let log_at lvl prefix fmt =
+  if rank lvl <= rank !current then
+    Printf.eprintf ("%s" ^^ fmt ^^ "\n%!") prefix
+  else Printf.ifprintf stderr ("%s" ^^ fmt ^^ "\n%!") prefix
+
+let info fmt = log_at Info "castan: " fmt
+let debug fmt = log_at Debug "castan[debug]: " fmt

@@ -1,0 +1,22 @@
+(** A minimal leveled logger for the CLI's [--log-level].
+
+    Messages go to stderr so they never disturb the reproduced tables and
+    figures on stdout.  The default level is {!Quiet}: an un-flagged run
+    prints exactly what it printed before the telemetry layer existed. *)
+
+type level = Quiet | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> level option
+(** ["quiet" | "info" | "debug"]. *)
+
+val level_name : level -> string
+
+val info : ('a, out_channel, unit) format -> 'a
+(** Printed at [Info] and [Debug]; prefixed ["castan: "], newline-terminated
+    and flushed. *)
+
+val debug : ('a, out_channel, unit) format -> 'a
+(** Printed at [Debug] only; prefixed ["castan[debug]: "]. *)

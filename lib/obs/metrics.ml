@@ -1,0 +1,151 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = {
+  g_name : string;
+  mutable last : int;
+  mutable max_v : int;
+  mutable g_set : bool;
+}
+
+(* Bounded reservoir: exact up to [cap] samples, uniform replacement past it.
+   The RNG is private and fixed-seed so observing never draws from (or
+   perturbs) any experiment's random stream. *)
+let cap = 16_384
+
+type histogram = {
+  h_name : string;
+  mutable samples : int array;
+  mutable n : int;  (* filled prefix of [samples] *)
+  mutable seen : int;  (* total observations, including replaced ones *)
+  mutable sum : float;
+  rng : Util.Rng.t;
+}
+
+let active_flag = ref false
+let set_active b = active_flag := b
+let active () = !active_flag
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr ?(by = 1) c = if !active_flag then c.count <- c.count + by
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; last = 0; max_v = 0; g_set = false } in
+      Hashtbl.add gauges name g;
+      g
+
+let gauge_set g v =
+  if !active_flag then begin
+    g.last <- v;
+    if (not g.g_set) || v > g.max_v then g.max_v <- v;
+    g.g_set <- true
+  end
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          samples = [||];
+          n = 0;
+          seen = 0;
+          sum = 0.;
+          rng = Util.Rng.create 0x0b5e;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+let observe h v =
+  if !active_flag then begin
+    h.seen <- h.seen + 1;
+    h.sum <- h.sum +. float_of_int v;
+    if h.n < cap then begin
+      if h.n >= Array.length h.samples then begin
+        let grown = Array.make (max 64 (2 * Array.length h.samples)) 0 in
+        Array.blit h.samples 0 grown 0 h.n;
+        h.samples <- grown
+      end;
+      h.samples.(h.n) <- v;
+      h.n <- h.n + 1
+    end
+    else
+      (* Vitter's algorithm R: keep each of the [seen] samples with equal
+         probability cap/seen. *)
+      let j = Util.Rng.int h.rng h.seen in
+      if j < cap then h.samples.(j) <- v
+  end
+
+let observe_span_us h seconds = observe h (int_of_float (seconds *. 1e6))
+
+let snapshot () =
+  let sorted_fields tbl extract =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.filter_map extract
+  in
+  let counters_json =
+    sorted_fields counters (fun (name, c) -> Some (name, Json.Int c.count))
+  in
+  let gauges_json =
+    sorted_fields gauges (fun (name, g) ->
+        if not g.g_set then None
+        else
+          Some
+            (name, Json.Obj [ ("last", Json.Int g.last); ("max", Json.Int g.max_v) ]))
+  in
+  let histograms_json =
+    sorted_fields histograms (fun (name, h) ->
+        if h.n = 0 then None
+        else
+          let data = Array.sub h.samples 0 h.n in
+          Some
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.seen);
+                  ("mean", Json.Float (h.sum /. float_of_int h.seen));
+                  ("min", Json.Int (Util.Stats.quantile_int data 0.0));
+                  ("p50", Json.Int (Util.Stats.quantile_int data 0.5));
+                  ("p95", Json.Int (Util.Stats.p95 data));
+                  ("p99", Json.Int (Util.Stats.p99 data));
+                  ("max", Json.Int (Util.Stats.quantile_int data 1.0));
+                ] ))
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters_json);
+      ("gauges", Json.Obj gauges_json);
+      ("histograms", Json.Obj histograms_json);
+    ]
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.last <- 0;
+      g.max_v <- 0;
+      g.g_set <- false)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.seen <- 0;
+      h.sum <- 0.)
+    histograms

@@ -1,0 +1,50 @@
+(** Process-wide metrics registry: monotonic counters, gauges and integer
+    histograms.
+
+    Metrics are ambient (like the resilience failure sink): instrumented
+    modules create their instruments once at module initialisation and bump
+    them unconditionally-cheaply.  Recording is gated on {!active}: when
+    inactive (the default), every operation reduces to a single [ref] read
+    and the snapshot stays all-zero, so an un-instrumented run is
+    bit-identical.
+
+    Instruments are identified by dotted names ([solver.verdict.sat],
+    [cache.model.miss], [symbex.kills.heap-exhausted], ...); creating the
+    same name twice returns the same instrument. *)
+
+type counter
+type gauge
+type histogram
+
+val set_active : bool -> unit
+val active : unit -> bool
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+
+val gauge_set : gauge -> int -> unit
+(** Records the latest value and tracks the maximum seen. *)
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Adds one integer sample (e.g. a latency in microseconds).  Bounded
+    memory: past a fixed cap the sample is reservoir-replaced with a
+    private fixed-seed RNG, so quantiles stay representative and recording
+    never perturbs program randomness. *)
+
+val observe_span_us : histogram -> float -> unit
+(** [observe_span_us h seconds] records a duration in whole microseconds. *)
+
+val snapshot : unit -> Json.t
+(** [{"counters": {...}, "gauges": {name: {"last","max"}},
+     "histograms": {name: {"count","mean","min","p50","p95","p99","max"}}}].
+    Instruments that never recorded are omitted from the histograms/gauges
+    sections; counters always appear (value 0 when untouched). *)
+
+val reset : unit -> unit
+(** Zeroes every registered instrument (the registry itself survives so
+    module-level instruments stay valid).  Does not change {!active}. *)

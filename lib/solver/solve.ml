@@ -755,21 +755,53 @@ let complete st cs rng attempts =
   in
   walk attempts
 
-let sat ?(rng = Util.Rng.create 0x5eed) ?(attempts = 2000) cs =
+(* Telemetry: verdict counters, how each Unsat was decided (pure
+   propagation vs the ordering pre-phase) vs how many calls fell through to
+   the WalkSAT-style search, and a per-call latency histogram.  Instruments
+   are module-level so the disabled path costs one ref read per bump. *)
+let m_verdict_sat = Obs.Metrics.counter "solver.verdict.sat"
+let m_verdict_unsat = Obs.Metrics.counter "solver.verdict.unsat"
+let m_verdict_unknown = Obs.Metrics.counter "solver.verdict.unknown"
+let m_unsat_ordering = Obs.Metrics.counter "solver.unsat.ordering"
+let m_unsat_propagation = Obs.Metrics.counter "solver.unsat.propagation"
+let m_walksat = Obs.Metrics.counter "solver.walksat.searches"
+let h_sat_latency = Obs.Metrics.histogram "solver.sat.latency_us"
+
+let sat_inner rng attempts cs =
   let cs = List.map Simplify.expr cs in
   if List.exists (fun c -> c = Const 0) cs then Unsat
   else
     let cs = List.filter (fun c -> c <> Const 1) cs in
     if cs = [] then Sat Model.empty
-    else if order_contradiction cs then Unsat
+    else if order_contradiction cs then begin
+      Obs.Metrics.incr m_unsat_ordering;
+      Unsat
+    end
     else
       match propagate_rounds cs with
-      | exception Contradiction -> Unsat
+      | exception Contradiction ->
+          Obs.Metrics.incr m_unsat_propagation;
+          Unsat
       | st -> (
+          Obs.Metrics.incr m_walksat;
           match complete st cs rng attempts with
           | exception Contradiction -> Unsat
           | Some m -> if check m cs then Sat m else Unknown
           | None -> Unknown)
+
+let sat ?(rng = Util.Rng.create 0x5eed) ?(attempts = 2000) cs =
+  if not (Obs.Metrics.active ()) then sat_inner rng attempts cs
+  else begin
+    let t_start = Unix.gettimeofday () in
+    let v = sat_inner rng attempts cs in
+    Obs.Metrics.observe_span_us h_sat_latency (Unix.gettimeofday () -. t_start);
+    Obs.Metrics.incr
+      (match v with
+      | Sat _ -> m_verdict_sat
+      | Unsat -> m_verdict_unsat
+      | Unknown -> m_verdict_unknown);
+    v
+  end
 
 let feasible ?rng cs =
   match sat ?rng ~attempts:200 cs with Unsat -> false | Sat _ | Unknown -> true

@@ -41,6 +41,32 @@ type result = {
   stats : stats;
 }
 
+(* Telemetry.  Totals are wired from [stats] once at the end of [run] (the
+   per-event counting already happens for the stats record); only the
+   queue-depth gauge and the per-slice spans touch the exploration loop, and
+   both are gated so a disabled run does no extra work. *)
+let m_explored = Obs.Metrics.counter "symbex.explored"
+let m_forks = Obs.Metrics.counter "symbex.forks"
+let m_killed = Obs.Metrics.counter "symbex.killed"
+let m_executed = Obs.Metrics.counter "symbex.executed_instrs"
+let m_completed = Obs.Metrics.counter "symbex.completed_paths"
+let m_degraded = Obs.Metrics.counter "symbex.degraded_runs"
+let g_queue = Obs.Metrics.gauge "symbex.queue_depth"
+
+let record_run_metrics stats ~completed =
+  if Obs.Metrics.active () then begin
+    Obs.Metrics.incr ~by:stats.explored m_explored;
+    Obs.Metrics.incr ~by:stats.forks m_forks;
+    Obs.Metrics.incr ~by:stats.killed m_killed;
+    Obs.Metrics.incr ~by:stats.executed_instrs m_executed;
+    Obs.Metrics.incr ~by:completed m_completed;
+    if stats.degraded then Obs.Metrics.incr m_degraded;
+    List.iter
+      (fun (label, n) ->
+        Obs.Metrics.incr ~by:n (Obs.Metrics.counter ("symbex.kills." ^ label)))
+      stats.kill_reasons
+  end
+
 let run program ~mem ~cache config =
   let annot = Cost.annotate ~m:config.m config.costs program in
   let searcher = Searcher.create config.strategy ~annot in
@@ -103,6 +129,11 @@ let run program ~mem ~cache config =
           else Searcher.add searcher preferred
       | Exec.Packet_done s' ->
           incr executed;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant "symbex.packet_done"
+              ~args:
+                [ ("state", Obs.Json.Int s'.State.id);
+                  ("pkt", Obs.Json.Int s'.State.pkt) ];
           let s'' = State.start_packet s' in
           if s''.State.finished then begin
             completed := s'' :: !completed;
@@ -123,7 +154,22 @@ let run program ~mem ~cache config =
       | None -> ()
       | Some s ->
           incr explored;
-          advance s slice;
+          if Obs.Metrics.active () then
+            Obs.Metrics.gauge_set g_queue (Searcher.size searcher);
+          (* One span per execution slice: enough to see where the budget
+             goes without tracing individual instructions. *)
+          if Obs.Trace.enabled () then begin
+            let sp =
+              Obs.Trace.enter "symbex.slice"
+                ~args:
+                  [ ("state", Obs.Json.Int s.State.id);
+                    ("pkt", Obs.Json.Int s.State.pkt);
+                    ("queue", Obs.Json.Int (Searcher.size searcher)) ]
+            in
+            advance s slice;
+            ignore (Obs.Trace.exit sp : float)
+          end
+          else advance s slice;
           loop ()
   in
   loop ();
@@ -139,24 +185,27 @@ let run program ~mem ~cache config =
       (fun a b -> compare (score b) (score a))
       (!completed @ pending)
   in
+  let stats =
+    {
+      explored = !explored;
+      forks = !forks;
+      killed = !killed;
+      kill_reasons =
+        Hashtbl.fold (fun k n acc -> (k, n) :: acc) kill_counts []
+        |> List.sort compare;
+      executed_instrs = !executed;
+      wall_time = Unix.gettimeofday () -. start;
+      (* Degraded: the budget truncated exploration with work pending, or
+         any state died of a fault (as opposed to normal exploration
+         outcomes). *)
+      degraded = (budget_stop && pending <> []) || !fault_kill;
+    }
+  in
+  record_run_metrics stats ~completed:!n_completed;
   {
     best = (match ranked with [] -> None | s :: _ -> Some s);
     ranked;
     completed = !completed;
     annot;
-    stats =
-      {
-        explored = !explored;
-        forks = !forks;
-        killed = !killed;
-        kill_reasons =
-          Hashtbl.fold (fun k n acc -> (k, n) :: acc) kill_counts []
-          |> List.sort compare;
-        executed_instrs = !executed;
-        wall_time = Unix.gettimeofday () -. start;
-        (* Degraded: the budget truncated exploration with work pending, or
-           any state died of a fault (as opposed to normal exploration
-           outcomes). *)
-        degraded = (budget_stop && pending <> []) || !fault_kill;
-      };
+    stats;
   }

@@ -12,4 +12,5 @@ let () =
       ("testbed", Test_testbed.tests);
       ("core", Test_core.tests);
       ("resilience", Test_resilience.tests);
+      ("obs", Test_obs.tests);
     ]

@@ -1,0 +1,84 @@
+(* Validates the files the telemetry flags emit; the `dune build @obs-smoke`
+   leg runs it against a real `castan experiment --trace/--metrics` run.
+
+     check_telemetry trace FILE.jsonl   -- Chrome trace_event JSONL
+     check_telemetry metrics FILE.json  -- run-manifest JSON
+
+   Exit 0 when the file is well formed, 1 (with a diagnostic on stderr) when
+   it is not.  Uses the same Obs.Json parser the tests use, so "well formed"
+   here means "loadable by anything strict". *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> fail "cannot read %s: %s" path m
+
+let get_str obj key =
+  match Obs.Json.member key obj with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let is_number = function Obs.Json.Int _ | Obs.Json.Float _ -> true | _ -> false
+
+let check_trace path =
+  let lines =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s: empty trace" path;
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match Obs.Json.parse line with
+      | Error e -> fail "%s:%d: not JSON: %s" path ln e
+      | Ok (Obs.Json.Obj _ as obj) -> (
+          (match get_str obj "name" with
+          | Some _ -> ()
+          | None -> fail "%s:%d: event without a name" path ln);
+          (match Obs.Json.member "ts" obj with
+          | Some v when is_number v -> ()
+          | _ -> fail "%s:%d: event without a numeric ts" path ln);
+          match get_str obj "ph" with
+          | Some "X" ->
+              if
+                not
+                  (match Obs.Json.member "dur" obj with
+                  | Some v -> is_number v
+                  | None -> false)
+              then fail "%s:%d: complete event without dur" path ln
+          | Some "i" -> ()
+          | Some ph -> fail "%s:%d: unexpected phase %S" path ln ph
+          | None -> fail "%s:%d: event without ph" path ln)
+      | Ok _ -> fail "%s:%d: not a JSON object" path ln)
+    lines;
+  Printf.printf "%s: %d trace events ok\n" path (List.length lines)
+
+let check_metrics path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj ->
+      (match get_str obj "tool" with
+      | Some "castan" -> ()
+      | _ -> fail "%s: missing tool tag" path);
+      let metrics =
+        match Obs.Json.member "metrics" obj with
+        | Some m -> m
+        | None -> fail "%s: no metrics snapshot" path
+      in
+      (match Obs.Json.member "counters" metrics with
+      | Some (Obs.Json.Obj counters) ->
+          if counters = [] then fail "%s: counters snapshot is empty" path;
+          if not (List.mem_assoc "solver.verdict.sat" counters) then
+            fail "%s: solver.verdict.sat counter missing" path
+      | _ -> fail "%s: counters is not an object" path);
+      Printf.printf "%s: manifest ok\n" path
+
+let () =
+  match Sys.argv with
+  | [| _; "trace"; path |] -> check_trace path
+  | [| _; "metrics"; path |] -> check_metrics path
+  | _ -> fail "usage: check_telemetry {trace|metrics} FILE"
