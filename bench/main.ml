@@ -118,37 +118,66 @@ let () =
       | `Default -> "default"
       | `Paper -> "paper");
     if Option.is_some !json_out then Obs.Metrics.set_active true;
+    (* With --json, snapshot the (cumulative) metrics after each experiment
+       so the file attributes counter growth to the experiment that caused
+       it. *)
     let timed =
       List.map
-        (fun id -> (id, Castan.Harness.run_id !experiment_config id))
+        (fun id ->
+          let seconds = Castan.Harness.run_id !experiment_config id in
+          let metrics =
+            if Option.is_some !json_out then Some (Obs.Metrics.snapshot ())
+            else None
+          in
+          (id, seconds, metrics))
         ids
     in
     match !json_out with
     | None -> ()
     | Some path ->
         (* A directory target gets a date-stamped file so repeated campaigns
-           accumulate instead of overwriting. *)
+           accumulate instead of overwriting; same-day reruns get a -2, -3,
+           ... suffix. *)
         let path =
-          if Sys.file_exists path && Sys.is_directory path then
+          if Sys.file_exists path && Sys.is_directory path then begin
             let tm = Unix.localtime (Unix.gettimeofday ()) in
-            Filename.concat path
-              (Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
-                 (tm.Unix.tm_mon + 1) tm.Unix.tm_mday)
+            let stamp =
+              Printf.sprintf "BENCH_%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+                (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+            in
+            let candidate = Filename.concat path (stamp ^ ".json") in
+            if not (Sys.file_exists candidate) then candidate
+            else begin
+              let k = ref 2 in
+              while
+                Sys.file_exists
+                  (Filename.concat path (Printf.sprintf "%s-%d.json" stamp !k))
+              do
+                incr k
+              done;
+              Filename.concat path (Printf.sprintf "%s-%d.json" stamp !k)
+            end
+          end
           else path
         in
         let manifest =
           Castan.Manifest.make ~ids ~config:!experiment_config
             ~extra:
               [
+                ("schema_version", Obs.Json.Int 2);
                 ( "experiments_timed",
                   Obs.Json.List
                     (List.map
-                       (fun (id, seconds) ->
+                       (fun (id, seconds, metrics) ->
                          Obs.Json.Obj
-                           [
-                             ("id", Obs.Json.Str id);
-                             ("seconds", Obs.Json.Float seconds);
-                           ])
+                           ([
+                              ("id", Obs.Json.Str id);
+                              ("seconds", Obs.Json.Float seconds);
+                            ]
+                           @
+                           match metrics with
+                           | Some m -> [ ("metrics", m) ]
+                           | None -> []))
                        timed) );
               ]
             ()

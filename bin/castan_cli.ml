@@ -161,6 +161,137 @@ let analyze_cmd =
       const run $ nf_arg $ output $ packets $ budget $ no_contention
       $ cache_model_file $ ktest $ trace_arg $ metrics_arg $ log_level_arg)
 
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let nf_name =
+    Arg.(required & opt (some string) None & info [ "nf" ] ~docv:"NF"
+           ~doc:"Network function to profile (a unique prefix of a `castan \
+                 list' name is accepted, e.g. $(b,nat)).")
+  in
+  let workload =
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"PCAP"
+           ~doc:"Replay this workload instead of generated uniform-random \
+                 traffic.")
+  in
+  let samples =
+    Arg.(value & opt int 2_000 & info [ "samples" ] ~docv:"N"
+           ~doc:"Packets to replay through the DUT.")
+  in
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"Synthesize the workload with the full CASTAN analysis \
+                 (profiled too, so symbolic exploration and solver time \
+                 appear in the output) instead of generating generic \
+                 traffic.")
+  in
+  let budget =
+    Arg.(value & opt float 5.0 & info [ "t"; "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Symbolic-execution time budget for --analyze.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the generated workload.")
+  in
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows in the hot-block table.")
+  in
+  let collapsed =
+    Arg.(value & opt (some string) None & info [ "collapsed" ] ~docv:"FILE"
+           ~doc:"Write flamegraph-collapsed stacks (`nf;func;blkN cycles' \
+                 lines) to FILE; feed to flamegraph.pl or speedscope.")
+  in
+  let profile_json =
+    Arg.(value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE"
+           ~doc:"Write the per-block profile as JSON to FILE.")
+  in
+  (* Exact name, else unique-or-first prefix match, so `--nf nat' works. *)
+  let resolve name =
+    if List.mem name Nf.Registry.names then name
+    else
+      let matches =
+        List.filter
+          (fun n ->
+            String.length n >= String.length name
+            && String.sub n 0 (String.length name) = name)
+          Nf.Registry.names
+      in
+      match matches with
+      | [] ->
+          Printf.eprintf "castan: unknown NF %s (known: %s)\n%!" name
+            (String.concat ", " Nf.Registry.names);
+          exit 1
+      | [ one ] -> one
+      | first :: _ ->
+          Printf.printf "note: %s matches %s; profiling %s\n" name
+            (String.concat ", " matches) first;
+          first
+  in
+  let run name workload samples analyze budget seed top collapsed profile_json
+      trace metrics log_level =
+    let name = resolve name in
+    install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
+        Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
+    let nf = Nf.Registry.find name in
+    Obs.Profile.reset ();
+    Obs.Profile.set_enabled true;
+    let w =
+      match workload with
+      | Some path -> Testbed.Workload.load_pcap ~name:path path
+      | None ->
+          if analyze then begin
+            let config =
+              { (Castan.Analyze.default_config
+                   ~cache:
+                     (Castan.Analyze.Contention_sets
+                        (Castan.Analyze.discover_contention_sets ()))
+                   ())
+                with time_budget = budget; seed }
+            in
+            (Castan.Analyze.run ~config nf).Castan.Analyze.workload
+          end
+          else
+            Testbed.Workload.shape nf.Nf.Nf_def.shape
+              (Testbed.Traffic.unirand ~scale:`Quick ~seed ())
+    in
+    let dut = Testbed.Dut.create nf in
+    ignore (Testbed.Dut.replay dut w ~samples : Testbed.Dut.sample array);
+    Obs.Profile.set_enabled false;
+    let program = nf.Nf.Nf_def.program in
+    Printf.printf "%s x %s: %d packets replayed %d times\n" name
+      w.Testbed.Workload.name
+      (Testbed.Workload.length w)
+      samples;
+    print_string (Castan.Profile_report.table ~nf:name ~top program);
+    List.iter
+      (fun (bucket, dt) -> Printf.printf "  %-8s %.3f s\n" bucket dt)
+      (Obs.Profile.timers ());
+    (match collapsed with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Castan.Profile_report.collapsed ~nf:name program);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    match profile_json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Json.to_string (Castan.Profile_report.to_json ~nf:name program));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attribute an NF's cycles to basic blocks (table, flamegraph, \
+             JSON)")
+    Term.(
+      const run $ nf_name $ workload $ samples $ analyze $ budget $ seed $ top
+      $ collapsed $ profile_json $ trace_arg $ metrics_arg $ log_level_arg)
+
 (* ---------------- probe-cache ---------------- *)
 
 let probe_cmd =
@@ -366,4 +497,5 @@ let () =
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in
   let info = Cmd.info "castan" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ list_cmd; analyze_cmd; probe_cmd; replay_cmd; dump_cmd; experiment_cmd ]))
+    [ list_cmd; analyze_cmd; profile_cmd; probe_cmd; replay_cmd; dump_cmd;
+      experiment_cmd ]))

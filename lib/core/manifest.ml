@@ -37,7 +37,13 @@ let make ?ids ?config ?(extra = []) () =
       | Some c -> [ ("config", config_json c); ("seed", Obs.Json.Int c.Experiment.seed) ]
       | None -> [])
     @ extra
-    @ [ ("metrics", Obs.Metrics.snapshot ()) ])
+    @ [ ("metrics", Obs.Metrics.snapshot ()) ]
+    (* Profiled runs carry their site-level attribution alongside the
+       metrics snapshot, so one manifest fully describes the run. *)
+    @
+    if Obs.Profile.sites () <> [] then
+      [ ("profile", Obs.Profile.snapshot ()) ]
+    else [])
 
 let write ~path json =
   let oc = open_out path in

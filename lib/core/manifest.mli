@@ -21,7 +21,10 @@ val make :
   Obs.Json.t
 (** Builds the manifest object.  [extra] fields are appended at the top
     level (the bench harness adds per-experiment wall times).  The metrics
-    snapshot is taken at call time — build the manifest {e after} the run. *)
+    snapshot is taken at call time — build the manifest {e after} the run.
+    When the {!Obs.Profile} registry holds attribution samples, a
+    ["profile"] section (site-level cycles/accesses plus wall-time buckets)
+    is embedded too. *)
 
 val write : path:string -> Obs.Json.t -> unit
 (** Writes the manifest followed by a newline. *)

@@ -1,0 +1,40 @@
+(** Basic-block aggregation of {!Obs.Profile} samples, and the three
+    surfaces the profiler is consumed through: a top-N hot-block table, a
+    flamegraph-compatible collapsed-stack file, and profile JSON.
+
+    The profiler attributes at [(func, pc)] granularity; this module derives
+    each function's basic-block leaders from its flat CFG (a leader is pc 0,
+    any branch/jump target, and any instruction following a branch, jump or
+    return) and folds every site into the block holding it.  Pseudo-functions
+    the executors use for runtime overhead (["<dpdk>"]) are treated as a
+    single block at pc 0.
+
+    Everything emitted here is derived from deterministic integer samples,
+    so two identical runs produce byte-identical [table]/[collapsed]/JSON
+    block sections; wall-clock timers appear only under ["timers_s"] in the
+    JSON. *)
+
+type row = {
+  func : string;
+  block : int;  (** leader pc of the block ([0] for pseudo-functions) *)
+  stats : Obs.Profile.stats;
+}
+
+val rows : Ir.Cfg.t -> row list
+(** Aggregates the current {!Obs.Profile} sites into blocks, sorted by
+    cycles (descending), ties broken by [(func, block)]. *)
+
+val total_cycles : row list -> int
+
+val table : nf:string -> ?top:int -> Ir.Cfg.t -> string
+(** The hot-block table (default [top] 20): cycles, share of total,
+    instructions, loads/stores and the L1/L2/L3/DRAM mix per block. *)
+
+val collapsed : nf:string -> Ir.Cfg.t -> string
+(** Collapsed-stack lines [nf;func;blkN cycles], one per block with a
+    non-zero cycle count, sorted by [(func, block)] — loadable by standard
+    flamegraph tooling.  Counts sum to {!total_cycles}. *)
+
+val to_json : nf:string -> Ir.Cfg.t -> Obs.Json.t
+(** [{"schema_version", "nf", "total_cycles", "timers_s", "blocks": [...]}]
+    with one object per block, in [rows] order. *)

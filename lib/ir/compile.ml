@@ -204,9 +204,22 @@ let compile_instr funcs slots pc (instr : Cfg.instr) : ctx -> int array -> int =
       fun ctx env ->
         spend ctx w;
         let v = fi env in
-        spend ctx (ctx.hooks.Interp.hash_weight hash);
+        let hw = ctx.hooks.Interp.hash_weight hash in
+        if Obs.Profile.enabled () then Obs.Profile.add_retire ~weight:hw;
+        spend ctx hw;
         env.(sd) <- ctx.hooks.Interp.hash_apply hash v;
         next
+
+(* Profiler shim around one compiled instruction: marks the attribution site
+   and charges retirement before the instruction body runs (so its memory
+   hooks attribute here too).  One ref read when the profiler is off. *)
+let instrument fname pc w code =
+ fun ctx env ->
+  if Obs.Profile.enabled () then begin
+    Obs.Profile.enter ~func:fname ~pc;
+    Obs.Profile.add_retire ~weight:w
+  end;
+  code ctx env
 
 let exec ctx (f : cfunc) argv =
   if Array.length argv <> Array.length f.param_slots then
@@ -242,7 +255,12 @@ let program (p : Cfg.t) =
     (fun name (f : Cfg.func) ->
       let slots = collect_vars f in
       let cf = Hashtbl.find funcs name in
-      cf.code <- Array.mapi (compile_instr funcs slots) f.body)
+      cf.code <-
+        Array.mapi
+          (fun pc instr ->
+            instrument name pc (Cfg.weight instr)
+              (compile_instr funcs slots pc instr))
+          f.body)
     p.Cfg.funcs;
   { funcs; entry = p.Cfg.entry }
 

@@ -46,7 +46,12 @@ let call program ~mem ~hooks ?(budget = 10_000_000) fname args =
   (* The stack holds suspended callers; [frame]/[pc] are the running ones. *)
   let rec exec stack frame pc =
     let instr = frame.func.body.(pc) in
-    spend (Cfg.weight instr);
+    let w = Cfg.weight instr in
+    if Obs.Profile.enabled () then begin
+      Obs.Profile.enter ~func:frame.func.Cfg.fname ~pc;
+      Obs.Profile.add_retire ~weight:w
+    end;
+    spend w;
     match instr with
     | Cfg.Assign (x, e) ->
         Hashtbl.replace frame.env x (eval_expr frame.env e);
@@ -91,7 +96,9 @@ let call program ~mem ~hooks ?(budget = 10_000_000) fname args =
             exec rest caller resume_pc)
     | Cfg.Havoc { dst; input; hash } ->
         let input_value = eval_expr frame.env input in
-        spend (hooks.hash_weight hash);
+        let hw = hooks.hash_weight hash in
+        if Obs.Profile.enabled () then Obs.Profile.add_retire ~weight:hw;
+        spend hw;
         Hashtbl.replace frame.env dst (hooks.hash_apply hash input_value);
         exec stack frame (pc + 1)
   in

@@ -3,6 +3,7 @@ type counter = { c_name : string; mutable count : int }
 type gauge = {
   g_name : string;
   mutable last : int;
+  mutable min_v : int;
   mutable max_v : int;
   mutable g_set : bool;
 }
@@ -44,7 +45,7 @@ let gauge name =
   match Hashtbl.find_opt gauges name with
   | Some g -> g
   | None ->
-      let g = { g_name = name; last = 0; max_v = 0; g_set = false } in
+      let g = { g_name = name; last = 0; min_v = 0; max_v = 0; g_set = false } in
       Hashtbl.add gauges name g;
       g
 
@@ -52,6 +53,7 @@ let gauge_set g v =
   if !active_flag then begin
     g.last <- v;
     if (not g.g_set) || v > g.max_v then g.max_v <- v;
+    if (not g.g_set) || v < g.min_v then g.min_v <- v;
     g.g_set <- true
   end
 
@@ -108,7 +110,13 @@ let snapshot () =
         if not g.g_set then None
         else
           Some
-            (name, Json.Obj [ ("last", Json.Int g.last); ("max", Json.Int g.max_v) ]))
+            ( name,
+              Json.Obj
+                [
+                  ("last", Json.Int g.last);
+                  ("min", Json.Int g.min_v);
+                  ("max", Json.Int g.max_v);
+                ] ))
   in
   let histograms_json =
     sorted_fields histograms (fun (name, h) ->
@@ -140,6 +148,7 @@ let reset () =
   Hashtbl.iter
     (fun _ g ->
       g.last <- 0;
+      g.min_v <- 0;
       g.max_v <- 0;
       g.g_set <- false)
     gauges;

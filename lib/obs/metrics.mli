@@ -26,7 +26,7 @@ val counter_value : counter -> int
 val gauge : string -> gauge
 
 val gauge_set : gauge -> int -> unit
-(** Records the latest value and tracks the maximum seen. *)
+(** Records the latest value and tracks the minimum and maximum seen. *)
 
 val histogram : string -> histogram
 
@@ -40,7 +40,7 @@ val observe_span_us : histogram -> float -> unit
 (** [observe_span_us h seconds] records a duration in whole microseconds. *)
 
 val snapshot : unit -> Json.t
-(** [{"counters": {...}, "gauges": {name: {"last","max"}},
+(** [{"counters": {...}, "gauges": {name: {"last","min","max"}},
      "histograms": {name: {"count","mean","min","p50","p95","p99","max"}}}].
     Instruments that never recorded are omitted from the histograms/gauges
     sections; counters always appear (value 0 when untouched). *)

@@ -1,0 +1,151 @@
+type level = L1 | L2 | L3 | Dram
+
+type stats = {
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1 : int;
+  mutable l2 : int;
+  mutable l3 : int;
+  mutable dram : int;
+  mutable concretizations : int;
+}
+
+let zero () =
+  {
+    cycles = 0;
+    instrs = 0;
+    loads = 0;
+    stores = 0;
+    l1 = 0;
+    l2 = 0;
+    l3 = 0;
+    dram = 0;
+    concretizations = 0;
+  }
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let tbl : (string * int, stats) Hashtbl.t = Hashtbl.create 256
+
+(* The ambient attribution site.  Starts detached (a throwaway record not in
+   [tbl]): anything recorded before the first [enter] stays out of the
+   snapshot rather than polluting a catch-all bucket. *)
+let cur = ref (zero ())
+
+let timers_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  Hashtbl.reset tbl;
+  Hashtbl.reset timers_tbl;
+  cur := zero ()
+
+let site key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+      let s = zero () in
+      Hashtbl.add tbl key s;
+      s
+
+let enter ~func ~pc = if !on then cur := site (func, pc)
+
+(* 3/5 of a cycle per retired weight unit, matching [Symbex.Costs.default]
+   and the DUT's calibrated CPI; rounded to nearest so weight-1 instructions
+   attribute 1 cycle instead of flooring to 0. *)
+let retire_cycles weight = ((weight * 3) + 2) / 5
+
+let add_retire ~weight =
+  if !on then begin
+    let s = !cur in
+    s.instrs <- s.instrs + weight;
+    s.cycles <- s.cycles + retire_cycles weight
+  end
+
+let add_exec ~instrs ~cycles ~loads ~stores =
+  if !on then begin
+    let s = !cur in
+    s.instrs <- s.instrs + instrs;
+    s.cycles <- s.cycles + cycles;
+    s.loads <- s.loads + loads;
+    s.stores <- s.stores + stores
+  end
+
+let bump_level s = function
+  | L1 -> s.l1 <- s.l1 + 1
+  | L2 -> s.l2 <- s.l2 + 1
+  | L3 -> s.l3 <- s.l3 + 1
+  | Dram -> s.dram <- s.dram + 1
+
+let add_access ~write level ~cycles =
+  if !on then begin
+    let s = !cur in
+    if write then s.stores <- s.stores + 1 else s.loads <- s.loads + 1;
+    bump_level s level;
+    s.cycles <- s.cycles + cycles
+  end
+
+let add_level level = if !on then bump_level !cur level
+
+let add_concretization () =
+  if !on then begin
+    let s = !cur in
+    s.concretizations <- s.concretizations + 1
+  end
+
+let add_timer name dt =
+  if !on then
+    match Hashtbl.find_opt timers_tbl name with
+    | Some r -> r := !r +. dt
+    | None -> Hashtbl.add timers_tbl name (ref dt)
+
+let copy s =
+  {
+    cycles = s.cycles;
+    instrs = s.instrs;
+    loads = s.loads;
+    stores = s.stores;
+    l1 = s.l1;
+    l2 = s.l2;
+    l3 = s.l3;
+    dram = s.dram;
+    concretizations = s.concretizations;
+  }
+
+let sites () =
+  Hashtbl.fold (fun k v acc -> (k, copy v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let timers () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) timers_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let total_cycles () = Hashtbl.fold (fun _ s acc -> acc + s.cycles) tbl 0
+
+let site_json ((func, pc), s) =
+  Json.Obj
+    [
+      ("func", Json.Str func);
+      ("pc", Json.Int pc);
+      ("cycles", Json.Int s.cycles);
+      ("instrs", Json.Int s.instrs);
+      ("loads", Json.Int s.loads);
+      ("stores", Json.Int s.stores);
+      ("l1", Json.Int s.l1);
+      ("l2", Json.Int s.l2);
+      ("l3", Json.Int s.l3);
+      ("dram", Json.Int s.dram);
+      ("concretizations", Json.Int s.concretizations);
+    ]
+
+let snapshot () =
+  Json.Obj
+    [
+      ("total_cycles", Json.Int (total_cycles ()));
+      ("sites", Json.List (List.map site_json (sites ())));
+      ( "timers_s",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (timers ())) );
+    ]

@@ -1,0 +1,87 @@
+(** Deterministic cost-attribution profiler.
+
+    Where {!Metrics} answers "how much, in total", this module answers
+    "where": every executor (the symbolic engine, the concrete interpreter,
+    the closure-compiled DUT executor) marks the source location it is about
+    to execute with {!enter}, and every cost source — instruction
+    retirement, cache-model outcomes, DUT memory latencies, pointer
+    concretizations — attributes to that ambient location.  Samples
+    accumulate per [(func, pc)]; {!Castan.Profile_report} aggregates them to
+    basic blocks for the hot-block table, flamegraph-collapsed output and
+    profile JSON.
+
+    Like the rest of [lib/obs], the profiler is ambient and gated: when
+    disabled (the default) every operation reduces to a single [ref] read,
+    allocates nothing, and analysis results are bit-identical to a build
+    without the profiler.  When enabled, everything recorded is an integer
+    derived from the deterministic cost model — never wall time — so two
+    runs with the same NF, seed and workload produce byte-identical
+    attribution.  Wall time lives only in the separate named {!add_timer}
+    buckets (solver, symbex, replay), which reports keep out of the
+    deterministic outputs. *)
+
+type level = L1 | L2 | L3 | Dram
+
+type stats = {
+  mutable cycles : int;  (** total attributed cycles (retire + memory) *)
+  mutable instrs : int;  (** weighted instructions retired *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1 : int;  (** accesses served per level *)
+  mutable l2 : int;
+  mutable l3 : int;
+  mutable dram : int;
+  mutable concretizations : int;
+      (** symbolic pointers the cache model pinned here *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drops every site and timer (and detaches the current site). Does not
+    change {!enabled}. *)
+
+val enter : func:string -> pc:int -> unit
+(** Makes [(func, pc)] the ambient attribution site.  Executors call this
+    before each instruction; pseudo-functions (["<dpdk>"]) attribute
+    runtime overhead outside NF code. *)
+
+val add_retire : weight:int -> unit
+(** [weight] retired instructions at the calibrated 3/5 cycles-per-weight
+    CPI (rounded to nearest; the same ratio as [Symbex.Costs.default] and
+    the DUT) — the concrete executors' per-instruction charge. *)
+
+val add_exec : instrs:int -> cycles:int -> loads:int -> stores:int -> unit
+(** The symbolic engine's exact per-instruction charge (retirement plus
+    modeled memory latency, as computed by [Symbex.Costs]). *)
+
+val add_access : write:bool -> level -> cycles:int -> unit
+(** A concrete memory access served at [level], costing [cycles] — the
+    DUT's cache-hierarchy hook. *)
+
+val add_level : level -> unit
+(** A cache-model outcome (level count only; the symbolic engine charges
+    the latency itself via {!add_exec}). *)
+
+val add_concretization : unit -> unit
+
+val add_timer : string -> float -> unit
+(** Accumulates wall seconds in a named bucket ([solver], [symbex],
+    [replay]).  Kept separate from sites so the deterministic outputs never
+    contain time. *)
+
+val sites : unit -> ((string * int) * stats) list
+(** Snapshot of every attribution site, sorted by [(func, pc)]; the [stats]
+    are copies, safe to mutate (reports aggregate them into blocks). *)
+
+val timers : unit -> (string * float) list
+(** Named wall-time buckets, sorted by name. *)
+
+val total_cycles : unit -> int
+(** Sum of [cycles] over all sites. *)
+
+val snapshot : unit -> Json.t
+(** [{"total_cycles": n, "sites": [{"func","pc","cycles",...}, ...],
+     "timers_s": {...}}] — the site-level section embedded in run
+    manifests. *)

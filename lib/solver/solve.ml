@@ -790,16 +790,22 @@ let sat_inner rng attempts cs =
           | None -> Unknown)
 
 let sat ?(rng = Util.Rng.create 0x5eed) ?(attempts = 2000) cs =
-  if not (Obs.Metrics.active ()) then sat_inner rng attempts cs
+  let want_metrics = Obs.Metrics.active () in
+  let want_profile = Obs.Profile.enabled () in
+  if not (want_metrics || want_profile) then sat_inner rng attempts cs
   else begin
     let t_start = Unix.gettimeofday () in
     let v = sat_inner rng attempts cs in
-    Obs.Metrics.observe_span_us h_sat_latency (Unix.gettimeofday () -. t_start);
-    Obs.Metrics.incr
-      (match v with
-      | Sat _ -> m_verdict_sat
-      | Unsat -> m_verdict_unsat
-      | Unknown -> m_verdict_unknown);
+    let dt = Unix.gettimeofday () -. t_start in
+    if want_profile then Obs.Profile.add_timer "solver" dt;
+    if want_metrics then begin
+      Obs.Metrics.observe_span_us h_sat_latency dt;
+      Obs.Metrics.incr
+        (match v with
+        | Sat _ -> m_verdict_sat
+        | Unsat -> m_verdict_unsat
+        | Unknown -> m_verdict_unknown)
+    end;
     v
   end
 

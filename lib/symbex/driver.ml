@@ -202,6 +202,8 @@ let run program ~mem ~cache config =
     }
   in
   record_run_metrics stats ~completed:!n_completed;
+  if Obs.Profile.enabled () then
+    Obs.Profile.add_timer "symbex" stats.wall_time;
   {
     best = (match ranked with [] -> None | s :: _ -> Some s);
     ranked;

@@ -80,6 +80,10 @@ let charge cfg (t : State.t) instr ?(mem_latency = 0) ?(load = false)
     ?(store = false) ?(miss = false) ?(extra_weight = 0) () =
   let weight = Ir.Cfg.weight instr + extra_weight in
   let cycles = Costs.compute_cycles cfg.costs ~weight + mem_latency in
+  if Obs.Profile.enabled () then
+    Obs.Profile.add_exec ~instrs:weight ~cycles
+      ~loads:(if load then 1 else 0)
+      ~stores:(if store then 1 else 0);
   let c = t.cur in
   {
     t with
@@ -140,6 +144,8 @@ let rec step cfg (t : State.t) : step_result =
   else
     let frame = t.frame in
     let instr = frame.func.Ir.Cfg.body.(frame.pc) in
+    if Obs.Profile.enabled () then
+      Obs.Profile.enter ~func:frame.func.Ir.Cfg.fname ~pc:frame.pc;
     try step_instr cfg t frame instr with
     | Fault reason -> Killed (t, reason)
     | Invalid_argument msg

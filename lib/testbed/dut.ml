@@ -24,6 +24,12 @@ let desc_ring_lines = 512
 
 let op_cycles weight = max 1 (weight * 3 / 5)
 
+let profile_level = function
+  | Cache.Hierarchy.L1 -> Obs.Profile.L1
+  | Cache.Hierarchy.L2 -> Obs.Profile.L2
+  | Cache.Hierarchy.L3 -> Obs.Profile.L3
+  | Cache.Hierarchy.Dram -> Obs.Profile.Dram
+
 let create ?(slice_seed = 0) ?(vmem_seed = 17) ?(geom = Cache.Geometry.xeon_e5_2667v2)
     ?(prefetch = false) ?(ddio = false) nf =
   let machine = Cache.Probe.machine ~slice_seed ~vmem_seed ~prefetch geom in
@@ -31,10 +37,15 @@ let create ?(slice_seed = 0) ?(vmem_seed = 17) ?(geom = Cache.Geometry.xeon_e5_2
   let hooks =
     {
       Ir.Interp.on_access =
-        (fun ~addr ~width:_ ~write:_ ->
+        (fun ~addr ~width:_ ~write ->
           let hit = Cache.Probe.access_virtual machine addr in
-          cycles_acc := !cycles_acc + Cache.Hierarchy.latency geom hit;
-          if hit = Cache.Hierarchy.Dram then incr misses_acc);
+          let lat = Cache.Hierarchy.latency geom hit in
+          cycles_acc := !cycles_acc + lat;
+          if hit = Cache.Hierarchy.Dram then incr misses_acc;
+          (* Attributes to the site the executor entered for this
+             instruction, so replay and symbex profile the same places. *)
+          if Obs.Profile.enabled () then
+            Obs.Profile.add_access ~write (profile_level hit) ~cycles:lat);
       hash_apply = (fun name key -> (Hashrev.Hashes.lookup name).apply key);
       hash_weight = (fun name -> (Hashrev.Hashes.lookup name).weight);
     }
@@ -65,10 +76,19 @@ let dpdk_path t =
   let k = !(t.pkt_count) in
   let desc = t.desc_base + (k mod desc_ring_lines * geom.Cache.Geometry.line) in
   let mbuf = t.mbuf_base + (k mod mbuf_pool_lines * geom.Cache.Geometry.line) in
+  (* Driver overhead outside NF code attributes to a pseudo-function. *)
+  if Obs.Profile.enabled () then begin
+    Obs.Profile.enter ~func:"<dpdk>" ~pc:0;
+    Obs.Profile.add_exec ~instrs:overhead_instrs ~cycles:overhead_cycles
+      ~loads:0 ~stores:0
+  end;
   let charge vaddr =
     let hit = Cache.Probe.access_virtual t.machine vaddr in
-    t.cycles_acc := !(t.cycles_acc) + Cache.Hierarchy.latency geom hit;
-    if hit = Cache.Hierarchy.Dram then incr t.misses_acc
+    let lat = Cache.Hierarchy.latency geom hit in
+    t.cycles_acc := !(t.cycles_acc) + lat;
+    if hit = Cache.Hierarchy.Dram then incr t.misses_acc;
+    if Obs.Profile.enabled () then
+      Obs.Profile.add_access ~write:false (profile_level hit) ~cycles:lat
   in
   charge desc;
   (* The DMA write lands just before the CPU read.  Without DDIO it goes to
@@ -102,4 +122,10 @@ let process t p =
   }
 
 let replay t w ~samples =
-  Array.init samples (fun k -> process t (Workload.nth_looped w k))
+  let r, dt =
+    Obs.Trace.timed "dut.replay"
+      ~args:[ ("samples", Obs.Json.Int samples) ]
+      (fun () -> Array.init samples (fun k -> process t (Workload.nth_looped w k)))
+  in
+  if Obs.Profile.enabled () then Obs.Profile.add_timer "replay" dt;
+  r

@@ -13,4 +13,5 @@ let () =
       ("core", Test_core.tests);
       ("resilience", Test_resilience.tests);
       ("obs", Test_obs.tests);
+      ("profile", Test_profile.tests);
     ]

@@ -119,6 +119,7 @@ let metrics_gating_and_snapshot () =
       Obs.Metrics.gauge_set g 3;
       Obs.Metrics.gauge_set g 7;
       Obs.Metrics.gauge_set g 2;
+      Obs.Metrics.gauge_set g 5;
       let h = Obs.Metrics.histogram "test.hist" in
       for i = 1 to 100 do
         Obs.Metrics.observe h i
@@ -129,9 +130,11 @@ let metrics_gating_and_snapshot () =
         (Obs.Json.member "test.counter" counters = Some (Obs.Json.Int 6));
       let gauge = field (field snap "gauges") "test.gauge" in
       Alcotest.(check bool) "gauge last" true
-        (Obs.Json.member "last" gauge = Some (Obs.Json.Int 2));
+        (Obs.Json.member "last" gauge = Some (Obs.Json.Int 5));
       Alcotest.(check bool) "gauge max" true
         (Obs.Json.member "max" gauge = Some (Obs.Json.Int 7));
+      Alcotest.(check bool) "gauge min" true
+        (Obs.Json.member "min" gauge = Some (Obs.Json.Int 2));
       let hist = field (field snap "histograms") "test.hist" in
       Alcotest.(check bool) "hist count" true
         (Obs.Json.member "count" hist = Some (Obs.Json.Int 100));

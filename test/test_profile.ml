@@ -1,0 +1,162 @@
+(* The cost-attribution profiler: deterministic output, well-formed collapsed
+   stacks, and — like the rest of lib/obs — zero perturbation of analysis
+   results when enabled. *)
+
+let with_profile f =
+  Obs.Profile.reset ();
+  Obs.Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Profile.set_enabled false;
+      Obs.Profile.reset ())
+    f
+
+(* One profiled DUT replay; returns the NF so reports can derive blocks. *)
+let replay_profiled ~name ~seed ~samples =
+  let nf = Nf.Registry.find name in
+  let w =
+    Testbed.Workload.shape nf.Nf.Nf_def.shape
+      (Testbed.Traffic.unirand ~scale:`Quick ~seed ())
+  in
+  let dut = Testbed.Dut.create nf in
+  ignore (Testbed.Dut.replay dut w ~samples : Testbed.Dut.sample array);
+  nf
+
+(* ---------------- disabled path ---------------- *)
+
+let disabled_records_nothing () =
+  Obs.Profile.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Profile.enabled ());
+  Obs.Profile.enter ~func:"f" ~pc:0;
+  Obs.Profile.add_retire ~weight:10;
+  Obs.Profile.add_exec ~instrs:5 ~cycles:50 ~loads:1 ~stores:1;
+  Obs.Profile.add_access ~write:false Obs.Profile.Dram ~cycles:300;
+  Obs.Profile.add_timer "solver" 1.0;
+  Alcotest.(check int) "no sites" 0 (List.length (Obs.Profile.sites ()));
+  Alcotest.(check int) "no cycles" 0 (Obs.Profile.total_cycles ());
+  Alcotest.(check int) "no timers" 0 (List.length (Obs.Profile.timers ()))
+
+(* pre-[enter] attributions drop into a detached record, never the snapshot *)
+let pre_enter_attributions_dropped () =
+  with_profile (fun () ->
+      Obs.Profile.add_retire ~weight:100;
+      Alcotest.(check int) "nothing attributed" 0 (Obs.Profile.total_cycles ());
+      Obs.Profile.enter ~func:"f" ~pc:0;
+      Obs.Profile.add_exec ~instrs:1 ~cycles:7 ~loads:0 ~stores:0;
+      Alcotest.(check int) "post-enter attributed" 7
+        (Obs.Profile.total_cycles ()))
+
+(* ---------------- determinism ---------------- *)
+
+let collapsed_of ~name ~seed ~samples =
+  with_profile (fun () ->
+      let nf = replay_profiled ~name ~seed ~samples in
+      Castan.Profile_report.collapsed ~nf:name nf.Nf.Nf_def.program)
+
+let replay_collapsed_deterministic () =
+  let a = collapsed_of ~name:"nat-hash-ring" ~seed:11 ~samples:400 in
+  let b = collapsed_of ~name:"nat-hash-ring" ~seed:11 ~samples:400 in
+  Alcotest.(check bool) "non-empty" true (String.length a > 0);
+  Alcotest.(check string) "byte-identical collapsed output" a b
+
+(* ---------------- collapsed format and accounting ---------------- *)
+
+let collapsed_well_formed () =
+  with_profile (fun () ->
+      let nf = replay_profiled ~name:"lb-hash-table" ~seed:3 ~samples:300 in
+      let program = nf.Nf.Nf_def.program in
+      let out = Castan.Profile_report.collapsed ~nf:"lb-hash-table" program in
+      let lines =
+        String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) "has stacks" true (lines <> []);
+      let sum =
+        List.fold_left
+          (fun acc line ->
+            let sp =
+              match String.rindex_opt line ' ' with
+              | Some i -> i
+              | None -> Alcotest.failf "no count in %S" line
+            in
+            let frames = String.sub line 0 sp in
+            if String.contains frames ' ' then
+              Alcotest.failf "space inside frames of %S" line;
+            (match String.split_on_char ';' frames with
+            | [ nf_frame; _func; _block ] ->
+                Alcotest.(check string) "nf frame" "lb-hash-table" nf_frame
+            | _ -> Alcotest.failf "expected 3 frames in %S" line);
+            let count =
+              match
+                int_of_string_opt
+                  (String.sub line (sp + 1) (String.length line - sp - 1))
+              with
+              | Some n when n > 0 -> n
+              | _ -> Alcotest.failf "bad count in %S" line
+            in
+            acc + count)
+          0 lines
+      in
+      let rows = Castan.Profile_report.rows program in
+      Alcotest.(check int) "counts sum to attributed total"
+        (Castan.Profile_report.total_cycles rows)
+        sum;
+      (* the JSON surface reports the same total *)
+      match
+        Obs.Json.member "total_cycles"
+          (Castan.Profile_report.to_json ~nf:"lb-hash-table" program)
+      with
+      | Some (Obs.Json.Int n) ->
+          Alcotest.(check int) "json total matches" sum n
+      | _ -> Alcotest.fail "profile json lacks total_cycles")
+
+(* ---------------- symbex attribution ---------------- *)
+
+let analysis_config () =
+  { (Castan.Analyze.default_config ()) with
+    n_packets = Some 4;
+    time_budget = 300.0;
+    instr_budget = 150_000 }
+
+let symbex_attributes_sites_and_timers () =
+  with_profile (fun () ->
+      let nf = Nf.Registry.find "lpm-btrie" in
+      ignore
+        (Castan.Analyze.run ~config:(analysis_config ()) nf
+          : Castan.Analyze.outcome);
+      Alcotest.(check bool) "symbolic execution attributed sites" true
+        (Obs.Profile.sites () <> []);
+      let timers = Obs.Profile.timers () in
+      Alcotest.(check bool) "symbex timer" true (List.mem_assoc "symbex" timers);
+      Alcotest.(check bool) "solver timer" true
+        (List.mem_assoc "solver" timers))
+
+(* ---------------- no perturbation ---------------- *)
+
+let fingerprint () =
+  let nf = Nf.Registry.find "lpm-btrie" in
+  let o = Castan.Analyze.run ~config:(analysis_config ()) nf in
+  ( o.Castan.Analyze.predicted_cost,
+    Array.to_list o.Castan.Analyze.workload.Testbed.Workload.packets
+    |> List.map Nf.Packet.to_string )
+
+let profiler_off_vs_on_identical () =
+  let off = fingerprint () in
+  let on = with_profile fingerprint in
+  Alcotest.(check int) "same predicted cost" (fst off) (fst on);
+  Alcotest.(check (list string)) "same workload" (snd off) (snd on)
+
+let tests =
+  [
+    Alcotest.test_case "disabled: records nothing" `Quick
+      disabled_records_nothing;
+    Alcotest.test_case "pre-enter attributions dropped" `Quick
+      pre_enter_attributions_dropped;
+    Alcotest.test_case "replay: collapsed byte-identical" `Quick
+      replay_collapsed_deterministic;
+    Alcotest.test_case "collapsed: well-formed, sums to total" `Quick
+      collapsed_well_formed;
+    Alcotest.test_case "symbex: sites and wall-time buckets" `Quick
+      symbex_attributes_sites_and_timers;
+    Alcotest.test_case "no perturbation: analysis identical" `Slow
+      profiler_off_vs_on_identical;
+  ]

@@ -1,0 +1,136 @@
+(* Compares two bench manifests (`bench/main.exe --json`) and gates on
+   per-experiment wall-time regressions — the check every perf-sensitive PR
+   runs before merging.
+
+     bench_diff [OPTIONS] BASE.json NEW.json
+     bench_diff [OPTIONS] DIR          -- picks the two latest BENCH_*.json
+
+   Options:
+     --max-regress PCT   fail when any experiment slows down more than PCT
+                         percent (default 20)
+     --noise SECONDS     ignore deltas smaller than this many seconds
+                         (default 0.05); guards quick experiments whose wall
+                         time is dominated by scheduler jitter
+
+   Exit 0 when no experiment regressed beyond the gate, 1 when at least one
+   did, 2 on usage or file errors. *)
+
+let usage_exit () =
+  prerr_endline
+    "usage: bench_diff [--max-regress PCT] [--noise SECONDS] \
+     (BASE.json NEW.json | DIR)";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error m -> fail "cannot read %s: %s" path m
+
+(* [experiments_timed] from a bench manifest, as (id, seconds) in file
+   order. *)
+let timings path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj -> (
+      match Obs.Json.member "experiments_timed" obj with
+      | Some (Obs.Json.List entries) ->
+          List.map
+            (fun entry ->
+              let id =
+                match Obs.Json.member "id" entry with
+                | Some (Obs.Json.Str s) -> s
+                | _ -> fail "%s: experiments_timed entry without an id" path
+              in
+              let seconds =
+                match Obs.Json.member "seconds" entry with
+                | Some (Obs.Json.Float f) -> f
+                | Some (Obs.Json.Int i) -> float_of_int i
+                | _ -> fail "%s: %s has no numeric seconds" path id
+              in
+              (id, seconds))
+            entries
+      | _ -> fail "%s: no experiments_timed section (bench --json output?)" path)
+
+(* Latest two BENCH_*.json in [dir] by (mtime, name); the older of the pair
+   is the baseline. *)
+let latest_two dir =
+  let is_bench name =
+    String.length name > 10
+    && String.sub name 0 6 = "BENCH_"
+    && Filename.check_suffix name ".json"
+  in
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.filter is_bench
+    |> List.map (fun name ->
+           let path = Filename.concat dir name in
+           ((Unix.stat path).Unix.st_mtime, name, path))
+    |> List.sort compare
+  in
+  match List.rev files with
+  | (_, _, newest) :: (_, _, previous) :: _ -> (previous, newest)
+  | _ -> fail "%s: need at least two BENCH_*.json files to diff" dir
+
+let () =
+  let max_regress = ref 20.0 in
+  let noise = ref 0.05 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--max-regress" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some f when f >= 0.0 -> max_regress := f
+        | _ -> usage_exit ());
+        parse rest
+    | "--noise" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some f when f >= 0.0 -> noise := f
+        | _ -> usage_exit ());
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage_exit ()
+    | arg :: rest ->
+        positional := !positional @ [ arg ];
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, new_path =
+    match !positional with
+    | [ dir ] when Sys.file_exists dir && Sys.is_directory dir ->
+        latest_two dir
+    | [ base; next ] -> (base, next)
+    | _ -> usage_exit ()
+  in
+  let base = timings base_path and next = timings new_path in
+  Printf.printf "bench_diff: %s -> %s (gate %.0f%%, noise %.3fs)\n" base_path
+    new_path !max_regress !noise;
+  let regressions = ref 0 in
+  List.iter
+    (fun (id, t1) ->
+      match List.assoc_opt id base with
+      | None -> Printf.printf "  %-24s %8.3fs  (new experiment)\n" id t1
+      | Some t0 ->
+          let delta = t1 -. t0 in
+          let pct = if t0 > 0.0 then 100.0 *. delta /. t0 else 0.0 in
+          let gated = delta > !noise && pct > !max_regress in
+          if gated then incr regressions;
+          Printf.printf "  %-24s %8.3fs -> %8.3fs  %+7.1f%%%s\n" id t0 t1 pct
+            (if gated then "  REGRESSION"
+             else if abs_float delta <= !noise then "  (noise)"
+             else ""))
+    next;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id next) then
+        Printf.printf "  %-24s (dropped from new run)\n" id)
+    base;
+  if !regressions > 0 then begin
+    Printf.printf "%d experiment(s) regressed beyond %.0f%%\n" !regressions
+      !max_regress;
+    exit 1
+  end
+  else print_endline "no regressions beyond gate"

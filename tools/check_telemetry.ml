@@ -3,6 +3,11 @@
 
      check_telemetry trace FILE.jsonl   -- Chrome trace_event JSONL
      check_telemetry metrics FILE.json  -- run-manifest JSON
+     check_telemetry collapsed FILE     -- flamegraph collapsed stacks
+     check_telemetry profile FILE.json [COLLAPSED]
+                                        -- castan profile --profile-json
+                                           output, optionally cross-checked
+                                           against its collapsed twin
 
    Exit 0 when the file is well formed, 1 (with a diagnostic on stderr) when
    it is not.  Uses the same Obs.Json parser the tests use, so "well formed"
@@ -77,8 +82,80 @@ let check_metrics path =
       | _ -> fail "%s: counters is not an object" path);
       Printf.printf "%s: manifest ok\n" path
 
+(* Each collapsed-stack line is `frames count`: a space-free semicolon-joined
+   frame stack, one space, a non-negative integer.  Returns the counts. *)
+let collapsed_counts path =
+  let lines =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then fail "%s: empty collapsed profile" path;
+  List.mapi
+    (fun i line ->
+      let ln = i + 1 in
+      match String.rindex_opt line ' ' with
+      | None -> fail "%s:%d: no count field" path ln
+      | Some sp ->
+          let frames = String.sub line 0 sp in
+          let count = String.sub line (sp + 1) (String.length line - sp - 1) in
+          if frames = "" || String.contains frames ' ' then
+            fail "%s:%d: malformed frame stack %S" path ln frames;
+          (match int_of_string_opt count with
+          | Some n when n >= 0 -> n
+          | _ -> fail "%s:%d: count %S is not a non-negative integer" path ln count))
+    lines
+
+let check_collapsed path =
+  let counts = collapsed_counts path in
+  Printf.printf "%s: %d stacks, %d samples ok\n" path (List.length counts)
+    (List.fold_left ( + ) 0 counts)
+
+let check_profile path collapsed =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj ->
+      (match Obs.Json.member "schema_version" obj with
+      | Some (Obs.Json.Int _) -> ()
+      | _ -> fail "%s: missing schema_version" path);
+      let total =
+        match Obs.Json.member "total_cycles" obj with
+        | Some (Obs.Json.Int n) -> n
+        | _ -> fail "%s: missing total_cycles" path
+      in
+      let blocks =
+        match Obs.Json.member "blocks" obj with
+        | Some (Obs.Json.List l) -> l
+        | _ -> fail "%s: blocks is not a list" path
+      in
+      if blocks = [] then fail "%s: no profiled blocks" path;
+      let sum =
+        List.fold_left
+          (fun acc b ->
+            match Obs.Json.member "cycles" b with
+            | Some (Obs.Json.Int n) -> acc + n
+            | _ -> fail "%s: block without integer cycles" path)
+          0 blocks
+      in
+      if sum <> total then
+        fail "%s: blocks sum to %d cycles but total_cycles is %d" path sum total;
+      (match collapsed with
+      | None -> ()
+      | Some cpath ->
+          let csum = List.fold_left ( + ) 0 (collapsed_counts cpath) in
+          if csum <> total then
+            fail "%s: collapsed stacks sum to %d cycles but %s reports %d"
+              cpath csum path total);
+      Printf.printf "%s: profile ok (%d blocks, %d cycles)\n" path
+        (List.length blocks) total
+
 let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> check_trace path
   | [| _; "metrics"; path |] -> check_metrics path
-  | _ -> fail "usage: check_telemetry {trace|metrics} FILE"
+  | [| _; "collapsed"; path |] -> check_collapsed path
+  | [| _; "profile"; path |] -> check_profile path None
+  | [| _; "profile"; path; collapsed |] -> check_profile path (Some collapsed)
+  | _ ->
+      fail
+        "usage: check_telemetry {trace|metrics|collapsed} FILE\n\
+        \       check_telemetry profile FILE.json [COLLAPSED]"
