@@ -103,6 +103,9 @@ let () =
     | "--json" :: path :: rest ->
         json_out := Some path;
         parse rest
+    | "--no-solver-cache" :: rest ->
+        Solver.Qcache.set_enabled false;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\nknown experiments: %s\n" arg
           (String.concat ", " Castan.Harness.ids);

@@ -38,6 +38,15 @@ let log_level_arg =
                identical to an un-instrumented run), $(b,info) or \
                $(b,debug).")
 
+let no_solver_cache_arg =
+  Arg.(value & flag & info [ "no-solver-cache" ]
+         ~doc:"Disable the solver query-optimization layer (independent-\
+               constraint slicing + canonicalized query cache): every \
+               feasibility check goes straight to the solver with the full \
+               path condition.  Analysis results are identical either way; \
+               the flag exists for performance comparison and for pinning \
+               that equivalence in CI.")
+
 (* Sinks are installed before the run; the manifest (which snapshots the
    metrics) is written and the trace sink closed from [at_exit], so the
    telemetry files are complete even on degraded (exit 2) runs. *)
@@ -99,7 +108,8 @@ let analyze_cmd =
                  outputs of the paper's §4).")
   in
   let run name output packets budget no_contention cache_model_file ktest
-      trace metrics log_level =
+      no_solver_cache trace metrics log_level =
+    if no_solver_cache then Solver.Qcache.set_enabled false;
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
         Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
     let nf = Nf.Registry.find name in
@@ -159,7 +169,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Synthesize an adversarial workload for an NF")
     Term.(
       const run $ nf_arg $ output $ packets $ budget $ no_contention
-      $ cache_model_file $ ktest $ trace_arg $ metrics_arg $ log_level_arg)
+      $ cache_model_file $ ktest $ no_solver_cache_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -229,7 +240,8 @@ let profile_cmd =
           first
   in
   let run name workload samples analyze budget seed top collapsed profile_json
-      trace metrics log_level =
+      no_solver_cache trace metrics log_level =
+    if no_solver_cache then Solver.Qcache.set_enabled false;
     let name = resolve name in
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
         Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
@@ -290,7 +302,8 @@ let profile_cmd =
              JSON)")
     Term.(
       const run $ nf_name $ workload $ samples $ analyze $ budget $ seed $ top
-      $ collapsed $ profile_json $ trace_arg $ metrics_arg $ log_level_arg)
+      $ collapsed $ profile_json $ no_solver_cache_arg $ trace_arg
+      $ metrics_arg $ log_level_arg)
 
 (* ---------------- probe-cache ---------------- *)
 
@@ -441,7 +454,8 @@ let experiment_cmd =
                  degradation paths.  RATE 0.0 is bit-identical to no \
                  injection.")
   in
-  let run id quick fail_fast inject trace metrics log_level =
+  let run id quick fail_fast inject no_solver_cache trace metrics log_level =
+    if no_solver_cache then Solver.Qcache.set_enabled false;
     Util.Resilience.reset ();
     Util.Resilience.set_fail_fast fail_fast;
     Util.Resilience.set_injection
@@ -490,8 +504,8 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables, figures or ablations")
     Term.(
-      const run $ id $ quick $ fail_fast $ inject $ trace_arg $ metrics_arg
-      $ log_level_arg)
+      const run $ id $ quick $ fail_fast $ inject $ no_solver_cache_arg
+      $ trace_arg $ metrics_arg $ log_level_arg)
 
 let () =
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in

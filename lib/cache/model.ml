@@ -283,7 +283,7 @@ let access_symbolic t ~pcs expr =
             if tried > 24 then None
             else
               let c = Ir.Expr.Cmp (Eq, e, Const v) in
-              if Solver.Solve.feasible (c :: pcs) then Some (v, c)
+              if Solver.Solve.feasible_cached ~query:c pcs then Some (v, c)
               else first_compatible (tried + 1) rest
       in
       let v, added =

@@ -22,6 +22,30 @@ let config_json (c : Experiment.config) =
       ("seed", Obs.Json.Int c.Experiment.seed);
     ]
 
+(* Cache effectiveness at a glance: how many feasibility queries the solver
+   never saw, and what fraction of slicing's work paid off.  Rates are
+   derived here rather than left to consumers because hit-rate is the
+   number people grep manifests for. *)
+let solver_cache_json () =
+  let s = Solver.Qcache.stats () in
+  let avoided = s.hits + s.subset_hits + s.model_reuse in
+  let rate =
+    if s.queries = 0 then 0.0 else float_of_int avoided /. float_of_int s.queries
+  in
+  Obs.Json.Obj
+    [
+      ("enabled", Obs.Json.Bool (Solver.Qcache.enabled ()));
+      ("queries", Obs.Json.Int s.queries);
+      ("hits", Obs.Json.Int s.hits);
+      ("subset_hits", Obs.Json.Int s.subset_hits);
+      ("model_reuse", Obs.Json.Int s.model_reuse);
+      ("misses", Obs.Json.Int s.misses);
+      ("queries_avoided", Obs.Json.Int avoided);
+      ("hit_rate", Obs.Json.Float rate);
+      ("constraints_dropped", Obs.Json.Int s.constraints_dropped);
+      ("evictions", Obs.Json.Int s.evictions);
+    ]
+
 let make ?ids ?config ?(extra = []) () =
   Obs.Json.Obj
     ([
@@ -37,7 +61,10 @@ let make ?ids ?config ?(extra = []) () =
       | Some c -> [ ("config", config_json c); ("seed", Obs.Json.Int c.Experiment.seed) ]
       | None -> [])
     @ extra
-    @ [ ("metrics", Obs.Metrics.snapshot ()) ]
+    @ [
+        ("metrics", Obs.Metrics.snapshot ());
+        ("solver_cache", solver_cache_json ());
+      ]
     (* Profiled runs carry their site-level attribution alongside the
        metrics snapshot, so one manifest fully describes the run. *)
     @

@@ -1,0 +1,258 @@
+module Expr = Ir.Expr
+
+type model = (Expr.sym * int) list
+
+(* Canonical shape: symbols renamed to dense ids in first-occurrence order
+   over the constraint list, widths preserved.  Constraint order is part of
+   the shape on purpose: the solver's Unsat proofs are order-sensitive, so
+   only queries that would feed the solver the *same ordered list* may share
+   a cached verdict.  Structural equality of shapes = alpha-equivalence. *)
+type shape = (int * int) Expr.t list
+
+type entry = {
+  canon_model : (int * int) list;  (* canonical id -> value; [] for unsat *)
+  real_model : model;  (* over the syms the entry was stored with *)
+  sat : bool;
+}
+
+let max_entries = 4096
+let max_scan = 8
+
+(* --- ambient state ------------------------------------------------- *)
+
+let enabled_ref = ref true
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let table : (shape, entry) Hashtbl.t = Hashtbl.create 512
+
+(* Per-constraint index into satisfiable entries: any cached assignment
+   whose entry shares a constraint with the query is a candidate model. *)
+let sat_index : (Expr.sexpr, entry) Hashtbl.t = Hashtbl.create 512
+
+(* Recent unsatisfiable sets, newest first, for the superset rule. *)
+let unsat_sets : Expr.sexpr list list ref = ref []
+let last_model : model option ref = ref None
+
+let clear () =
+  Hashtbl.reset table;
+  Hashtbl.reset sat_index;
+  unsat_sets := [];
+  last_model := None
+
+(* --- statistics ----------------------------------------------------- *)
+
+type stats = {
+  queries : int;
+  hits : int;
+  subset_hits : int;
+  model_reuse : int;
+  misses : int;
+  constraints_dropped : int;
+  evictions : int;
+}
+
+let zero =
+  {
+    queries = 0;
+    hits = 0;
+    subset_hits = 0;
+    model_reuse = 0;
+    misses = 0;
+    constraints_dropped = 0;
+    evictions = 0;
+  }
+
+let st = ref zero
+let stats () = !st
+let reset_stats () = st := zero
+
+let m_hit = Obs.Metrics.counter "solver.cache.hit"
+let m_miss = Obs.Metrics.counter "solver.cache.miss"
+let m_subset = Obs.Metrics.counter "solver.cache.subset_hit"
+let m_reuse = Obs.Metrics.counter "solver.cache.model_reuse"
+let m_dropped = Obs.Metrics.counter "solver.slice.constraints_dropped"
+
+let note_dropped n =
+  if !enabled_ref && n > 0 then begin
+    st := { !st with constraints_dropped = !st.constraints_dropped + n };
+    Obs.Metrics.incr ~by:n m_dropped
+  end
+
+(* --- canonicalization ----------------------------------------------- *)
+
+(* Returns the shape plus the id -> real-symbol table needed to translate a
+   cached canonical assignment back into the query's own symbols. *)
+let canon cs =
+  let ids = Hashtbl.create 16 in
+  let inv = ref [] in
+  let id_of s =
+    match Hashtbl.find_opt ids s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length ids in
+        Hashtbl.add ids s i;
+        inv := (i, s) :: !inv;
+        i
+  in
+  let shape =
+    List.map (Expr.subst (fun s -> Expr.Leaf (id_of s, Expr.sym_width s))) cs
+  in
+  (shape, !inv)
+
+(* --- verification --------------------------------------------------- *)
+
+let holds (m : model) cs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (s, v) -> Hashtbl.replace tbl s v) m;
+  let leaf s = match Hashtbl.find_opt tbl s with Some v -> v | None -> 0 in
+  try List.for_all (fun c -> Expr.eval ~leaf c <> 0) cs
+  with Division_by_zero -> false
+
+(* Is [sub] an order-preserving subsequence of [super]?  The superset-unsat
+   rule needs order preservation, not mere set inclusion: interleaving extra
+   constraints only adds monotone knowledge to the propagator (the cached
+   set's contradiction still fires), whereas *reordering* can change which
+   facts are pinned when a constraint is asserted and flip a provable Unsat
+   to Unknown. *)
+let rec subseq sub super =
+  match (sub, super) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | c :: sub', d :: super' ->
+      if Expr.compare_sexpr c d = 0 then subseq sub' super'
+      else subseq sub super'
+
+(* --- lookup ---------------------------------------------------------- *)
+
+let exact_hit cs =
+  let shape, inv = canon cs in
+  match Hashtbl.find_opt table shape with
+  | None -> None
+  | Some e when not e.sat -> Some `Unsat
+  | Some e ->
+      (* Translate the canonical assignment through the query's own symbol
+         numbering (the shapes are equal, so ids coincide positionally) and
+         certify it against the real constraints. *)
+      let m =
+        List.filter_map
+          (fun (i, v) ->
+            Option.map (fun s -> (s, v)) (List.assoc_opt i inv))
+          e.canon_model
+      in
+      if holds m cs then begin
+        last_model := Some m;
+        Some `Sat
+      end
+      else None
+
+(* Probe the index through every constraint of the query (the head is the
+   query itself, which is usually fresh; the tail constraints are the shared
+   ones that cached entries were stored under), under one shared scan
+   budget.  Verified models are safe from any source. *)
+let subset_sat cs =
+  let budget = ref max_scan in
+  let found = ref None in
+  let try_entry e =
+    if !found = None && !budget > 0 then begin
+      decr budget;
+      if holds e.real_model cs then begin
+        last_model := Some e.real_model;
+        found := Some `Sat
+      end
+    end
+  in
+  List.iter
+    (fun c ->
+      if !found = None && !budget > 0 then
+        List.iter try_entry (Hashtbl.find_all sat_index c))
+    cs;
+  !found
+
+let superset_unsat cs =
+  let rec scan n = function
+    | [] -> None
+    | _ when n = 0 -> None
+    | ucs :: rest ->
+        if subseq ucs cs then Some `Unsat else scan (n - 1) rest
+  in
+  scan max_scan !unsat_sets
+
+let reuse_last cs =
+  match !last_model with
+  | Some m when holds m cs -> Some `Sat
+  | _ -> None
+
+let bump f = st := f !st
+
+let find cs =
+  if not !enabled_ref then `Unknown
+  else begin
+    bump (fun s -> { s with queries = s.queries + 1 });
+    match exact_hit cs with
+    | Some v ->
+        bump (fun s -> { s with hits = s.hits + 1 });
+        Obs.Metrics.incr m_hit;
+        v
+    | None -> (
+        match subset_sat cs with
+        | Some v ->
+            bump (fun s -> { s with subset_hits = s.subset_hits + 1 });
+            Obs.Metrics.incr m_subset;
+            v
+        | None -> (
+            match superset_unsat cs with
+            | Some v ->
+                bump (fun s -> { s with subset_hits = s.subset_hits + 1 });
+                Obs.Metrics.incr m_subset;
+                v
+            | None -> (
+                match reuse_last cs with
+                | Some v ->
+                    bump (fun s -> { s with model_reuse = s.model_reuse + 1 });
+                    Obs.Metrics.incr m_reuse;
+                    v
+                | None ->
+                    bump (fun s -> { s with misses = s.misses + 1 });
+                    Obs.Metrics.incr m_miss;
+                    `Unknown)))
+  end
+
+(* --- insertion ------------------------------------------------------- *)
+
+let room_for_one () =
+  if Hashtbl.length table >= max_entries then begin
+    clear ();
+    bump (fun s -> { s with evictions = s.evictions + 1 })
+  end
+
+let store_sat cs m =
+  if !enabled_ref then begin
+    room_for_one ();
+    let shape, inv = canon cs in
+    (* Invert the sym -> id table: the stored assignment must survive alpha
+       hits, so it is kept in canonical ids alongside the concrete one. *)
+    let canon_model =
+      List.filter_map
+        (fun (s, v) ->
+          List.find_map
+            (fun (i, s') -> if Expr.compare_sym s s' = 0 then Some (i, v) else None)
+            inv)
+        m
+    in
+    let e = { canon_model; real_model = m; sat = true } in
+    Hashtbl.replace table shape e;
+    List.iter (fun c -> Hashtbl.add sat_index c e) cs;
+    last_model := Some m
+  end
+
+let store_unsat cs =
+  if !enabled_ref then begin
+    room_for_one ();
+    let shape, _ = canon cs in
+    Hashtbl.replace table shape { canon_model = []; real_model = []; sat = false };
+    unsat_sets := cs :: !unsat_sets;
+    (* The superset rule only ever scans the newest few; cap the list. *)
+    if List.length !unsat_sets > 4 * max_scan then
+      unsat_sets := List.filteri (fun i _ -> i < 2 * max_scan) !unsat_sets
+  end

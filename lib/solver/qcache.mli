@@ -1,0 +1,87 @@
+(** Canonicalized query cache for feasibility checks.
+
+    Sits between the symbolic-execution hot path and the solver: sliced
+    feasibility queries (see {!Slice}) are looked up before any solver work.
+    Three answer paths, in order of cost:
+
+    - {e exact hit}: the query's canonical shape — the simplified constraint
+      list in its original order, symbols renamed to dense ids in
+      first-occurrence order, widths preserved — matches a cached entry, so
+      structurally identical queries hit even across packets (packet 2's
+      constraint cluster is an alpha-renaming of packet 1's).  A cached
+      satisfying assignment is translated back through the query's own
+      symbols and re-verified by evaluation before being trusted; a cached
+      [Unsat] is trusted because with order preserved the solver's verdict
+      is a deterministic function of the shape (its Unsat proofs process
+      constraints in list order and are invariant under injective
+      width-preserving renaming).
+    - {e subset/superset} (the KLEE counterexample-cache rules): a cached
+      assignment that satisfies the query proves sat — candidates are found
+      through a per-constraint index, so this fires when the query is a
+      subset of a cached satisfiable set; a cached unsatisfiable set that is
+      an {e order-preserving subsequence} of the query proves the query
+      unsat (interleaving extra constraints only adds monotone knowledge to
+      the propagator, so the cached set's contradiction still fires;
+      reordering is never assumed, since it can flip provability).
+    - {e model reuse}: the most recent satisfying assignment is evaluated
+      against the query — pointer-fork enumeration asks about N sibling
+      constraints under one path condition, and one model frequently
+      satisfies several of them.
+
+    Every [`Sat] answer is certified by evaluating the actual query under
+    the proposed assignment, so a wrong cache entry (or hash collision) can
+    never produce a wrong positive; [`Unsat] answers rest on the two
+    invariants above.  Lookups draw no randomness and never mutate solver
+    state, so cached and uncached runs produce identical verdicts.
+
+    The cache is process-ambient like {!Obs.Metrics}: entries are cleared
+    at the start of every exploration ({!clear}) so results never depend on
+    what ran earlier in the process; cumulative statistics survive for
+    run manifests. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Default [true]. Disabling makes {!find} answer [`Unknown] and every
+    [store_*]/[note_*] a no-op, restoring the pre-cache solver behaviour
+    exactly ([--no-solver-cache]). *)
+
+val clear : unit -> unit
+(** Drops all entries and the last-model slot. Statistics are preserved. *)
+
+type model = (Ir.Expr.sym * int) list
+(** A satisfying assignment as bindings; unbound symbols read as 0 (the
+    solver's own convention for unconstrained symbols). *)
+
+val find : Ir.Expr.sexpr list -> [ `Sat | `Unsat | `Unknown ]
+(** [find cs] answers the satisfiability of the conjunction [cs]: the
+    simplified constraints in their original solver order, trivially-true
+    ones dropped ([Solve.feasible_cached] builds this).  Order matters and
+    is part of the cache key.  [`Unknown] means the caller must consult the
+    solver; hit/miss statistics are recorded here. *)
+
+val store_sat : Ir.Expr.sexpr list -> model -> unit
+(** Record a solver-verified satisfying assignment for [cs] (same
+    normalization contract as {!find}); also seeds the model-reuse slot. *)
+
+val store_unsat : Ir.Expr.sexpr list -> unit
+(** Record a solver-proved unsatisfiable set. *)
+
+val note_dropped : int -> unit
+(** Account constraints removed by slicing (for the
+    [solver.slice.constraints_dropped] counter). *)
+
+type stats = {
+  queries : int;  (** [find] calls while enabled *)
+  hits : int;  (** exact canonical hits (sat or unsat) *)
+  subset_hits : int;  (** subset-sat and superset-unsat answers *)
+  model_reuse : int;  (** last-model fast-path answers *)
+  misses : int;  (** fell through to the solver *)
+  constraints_dropped : int;  (** slicing total via {!note_dropped} *)
+  evictions : int;  (** whole-cache flushes on overflow *)
+}
+
+val stats : unit -> stats
+(** Cumulative since process start (or {!reset_stats}); {!clear} does not
+    zero these. *)
+
+val reset_stats : unit -> unit

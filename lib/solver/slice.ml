@@ -1,0 +1,80 @@
+module Expr = Ir.Expr
+module SymMap = Map.Make (struct
+  type t = Expr.sym
+
+  let compare = Expr.compare_sym
+end)
+
+let free_syms e =
+  let seen = ref SymMap.empty and acc = ref [] in
+  Expr.iter_leaves
+    (fun s ->
+      if not (SymMap.mem s !seen) then begin
+        seen := SymMap.add s () !seen;
+        acc := s :: !acc
+      end)
+    e;
+  List.rev !acc
+
+(* Union-find over the indices of [pcs]; symbols are mapped to the index of
+   the first constraint mentioning them, and each later mention unions the
+   two constraints. Path-halving keeps finds near-constant. *)
+let relevant ~query pcs =
+  match free_syms query with
+  | [] -> (pcs, 0)
+  | qsyms -> (
+      let n = List.length pcs in
+      let parent = Array.init n Fun.id in
+      let rec find i =
+        let p = parent.(i) in
+        if p = i then i
+        else begin
+          parent.(i) <- parent.(p);
+          find parent.(i)
+        end
+      in
+      let union i j =
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      in
+      let owner = ref SymMap.empty in
+      List.iteri
+        (fun i c ->
+          Expr.iter_leaves
+            (fun s ->
+              match SymMap.find_opt s !owner with
+              | Some j -> union i j
+              | None -> owner := SymMap.add s i !owner)
+            c)
+        pcs;
+      (* Roots of the components the query's symbols touch. A query symbol
+         absent from every constraint contributes nothing. *)
+      let wanted =
+        List.filter_map
+          (fun s ->
+            Option.map (fun i -> find i) (SymMap.find_opt s !owner))
+          qsyms
+      in
+      match wanted with
+      | [] ->
+          (* The query shares no symbol with the path condition: only the
+             ground constraints (kept below, and there are none among the
+             indexed ones unless symbol-free) can affect it. *)
+          let slice =
+            List.filter (fun c -> free_syms c = []) pcs
+          in
+          (slice, n - List.length slice)
+      | _ ->
+          let keep i c =
+            free_syms c = [] || List.mem (find i) wanted
+          in
+          let kept = ref 0 in
+          let slice =
+            List.filteri
+              (fun i c ->
+                let k = keep i c in
+                if k then incr kept;
+                k)
+              pcs
+          in
+          (slice, n - !kept))

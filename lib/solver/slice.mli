@@ -1,0 +1,31 @@
+(** Independent-constraint slicing.
+
+    A path condition accumulated by symbolic execution is mostly a union of
+    constraints over {e disjoint} symbol sets: each packet's fields, each
+    havoced hash output, each concretized pointer touch its own little
+    cluster.  Feasibility of one new constraint only depends on the
+    connected component (by shared symbols) it touches, so a query can be
+    answered against that slice alone — the KLEE independent-solver trick,
+    which keeps per-branch solver work near-constant as the path condition
+    grows.
+
+    Dropping an independent component is exact for the verdicts
+    [Solve.feasible] reports as long as no {e other} component of the path
+    condition is unsatisfiable on its own.  The engine maintains exactly
+    that invariant: every constraint enters a state's path condition only
+    after a feasibility check of the whole condition, and the solver proves
+    [Unsat] component-locally (per-symbol propagation, per-constraint
+    decomposition, ordering cycles within one component). *)
+
+val free_syms : Ir.Expr.sexpr -> Ir.Expr.sym list
+(** Distinct symbols of the expression, in first-occurrence order. *)
+
+val relevant :
+  query:Ir.Expr.sexpr -> Ir.Expr.sexpr list -> Ir.Expr.sexpr list * int
+(** [relevant ~query pcs] is [(slice, dropped)]: [slice] keeps every
+    constraint of [pcs] whose connected component (union-find over shared
+    symbols, computed on [pcs] alone) contains a free symbol of [query],
+    plus every ground constraint (no symbols — a ground contradiction must
+    never be sliced away); [dropped] is how many constraints were left out.
+    Preserves the relative order of [pcs].  A ground [query] returns [pcs]
+    unsliced. *)

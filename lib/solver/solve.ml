@@ -812,8 +812,79 @@ let sat ?(rng = Util.Rng.create 0x5eed) ?(attempts = 2000) cs =
 let feasible ?rng cs =
   match sat ?rng ~attempts:200 cs with Unsat -> false | Sat _ | Unknown -> true
 
+(* Cached feasibility for the hot path.  The query is sliced to its
+   connected component of [pcs] (correct because the engine only inserts
+   constraints that passed a feasibility check, so no *other* component can
+   be provably unsat — see Slice), normalized (per-constraint
+   simplification, trivial-true constraints dropped, sorted, deduplicated)
+   and looked up in Qcache before the solver runs.  Cache bookkeeping time
+   is segregated into its own profiler bucket so the "solver" bucket keeps
+   measuring actual solving. *)
+let feasible_cached ?rng ~query pcs =
+  if not (Qcache.enabled ()) then feasible ?rng (query :: pcs)
+  else begin
+    let want_profile = Obs.Profile.enabled () in
+    let t0 = if want_profile then Unix.gettimeofday () else 0. in
+    let close_timer () =
+      if want_profile then
+        Obs.Profile.add_timer "solver.cache" (Unix.gettimeofday () -. t0)
+    in
+    match Simplify.expr query with
+    | Const 0 ->
+        close_timer ();
+        false
+    | Const _ ->
+        (* A trivially-true query adds nothing; keep the uncached
+           behaviour (the verdict is then about [pcs] alone). *)
+        close_timer ();
+        feasible ?rng (query :: pcs)
+    | q -> (
+        let slice, dropped = Slice.relevant ~query:q pcs in
+        Qcache.note_dropped dropped;
+        let simplified = List.map Simplify.expr slice in
+        if List.exists (fun c -> c = Const 0) simplified then begin
+          close_timer ();
+          false
+        end
+        else begin
+          (* The cache key is the simplified constraint list in its
+             original order (query first, then the slice in path-condition
+             order), trivially-true constraints dropped.  Order is
+             deliberately preserved: the solver's Unsat *proofs* are
+             order-sensitive (propagation processes constraints in list
+             order), so a key that reordered constraints could map two
+             queries with different uncached verdicts to one entry.  With
+             order kept, sat's verdict is a deterministic function of the
+             key (it re-simplifies idempotently, filters the same trivial
+             constraints, and seeds its own rng), which is what makes a
+             cached Unsat safe to replay. *)
+          let key = q :: List.filter (fun c -> c <> Const 1) simplified in
+          match Qcache.find key with
+          | `Sat ->
+              close_timer ();
+              true
+          | `Unsat ->
+              close_timer ();
+              false
+          | `Unknown -> (
+              close_timer ();
+              match sat ?rng ~attempts:200 (query :: slice) with
+              | Sat m ->
+                  Qcache.store_sat key (Model.bindings m);
+                  true
+              | Unsat ->
+                  Qcache.store_unsat key;
+                  false
+              | Unknown -> true)
+        end)
+  end
+
 let domain_of cs e =
   let e = Simplify.expr e in
+  (* Only the query's connected component can shape its abstract value, by
+     the same argument as [feasible_cached]; gated on the cache switch so
+     [--no-solver-cache] restores the exact pre-cache pipeline. *)
+  let cs = if Qcache.enabled () then fst (Slice.relevant ~query:e cs) else cs in
   let cs = List.map Simplify.expr cs in
   match propagate_rounds cs with
   | exception Contradiction -> Domain.const 0

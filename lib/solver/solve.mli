@@ -45,6 +45,20 @@ val feasible : ?rng:Util.Rng.t -> Ir.Expr.sexpr list -> bool
 (** Fast-path check used on every symbolic branch: [false] only on [Unsat],
     so no feasible path is ever dropped. Uses a reduced search budget. *)
 
+val feasible_cached :
+  ?rng:Util.Rng.t -> query:Ir.Expr.sexpr -> Ir.Expr.sexpr list -> bool
+(** [feasible_cached ~query pcs] = [feasible (query :: pcs)], optimized for
+    the symbex hot path where [pcs] is a path condition whose every
+    constraint already passed a feasibility check at insertion: the query is
+    answered against only the connected component of [pcs] it shares
+    symbols with ({!Slice}), after consulting the canonicalized query cache
+    ({!Qcache}) — exact/alpha-renamed hits, cached-model subset answers,
+    unsat-core superset answers and a last-model fast path — so most calls
+    never reach the solver.  Under that insertion invariant (or any
+    satisfiable [pcs]) the result is identical to the uncached call; with
+    the cache disabled ({!Qcache.set_enabled}[ false]) it {e is} the
+    uncached call. *)
+
 val domain_of : Ir.Expr.sexpr list -> Ir.Expr.sexpr -> Domain.t
 (** Over-approximates the values [e] can take under the constraints; used by
     the cache model to enumerate candidate concrete addresses of a symbolic

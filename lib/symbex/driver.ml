@@ -68,6 +68,10 @@ let record_run_metrics stats ~completed =
   end
 
 let run program ~mem ~cache config =
+  (* A fresh query cache per exploration: results must never depend on what
+     else ran earlier in the process, and entries from another NF's symbols
+     would only pollute the canonical index. *)
+  Solver.Qcache.clear ();
   let annot = Cost.annotate ~m:config.m config.costs program in
   let searcher = Searcher.create config.strategy ~annot in
   let exec_cfg =

@@ -127,7 +127,7 @@ let resolve_pointer (t : State.t) addr_e =
         let feasible = ref [] in
         Solver.Domain.iter dom (fun v ->
             let c = Solver.Simplify.expr (Ir.Expr.Cmp (Eq, addr_e, Const v)) in
-            if Solver.Solve.feasible (c :: t.pcs) then
+            if Solver.Solve.feasible_cached ~query:c t.pcs then
               feasible := (v, c) :: !feasible);
         Small (List.rev !feasible)
       end
@@ -164,13 +164,12 @@ and step_instr cfg (t : State.t) frame instr : step_result =
     | Ir.Cfg.Load { dst; addr; width } -> (
         let addr_e = eval_pexpr frame addr in
         let finish t concrete_addr o_latency o_miss extra_pc =
-          let pcs = match extra_pc with Some c -> c :: t.State.pcs | None -> t.State.pcs in
           let value =
             match Ir.Memory.try_read t.State.mem ~addr:concrete_addr ~width with
             | Ok v -> v
             | Error msg -> raise (Fault (Memory_fault msg))
           in
-          let t = { t with State.pcs } in
+          let t = match extra_pc with Some c -> State.add_pc t c | None -> t in
           let t =
             charge cfg t instr ~mem_latency:o_latency ~load:true ~miss:o_miss ()
           in
@@ -207,13 +206,13 @@ and step_instr cfg (t : State.t) frame instr : step_result =
         let addr_e = eval_pexpr frame addr in
         let v = eval_pexpr frame value in
         let finish t concrete_addr o_latency o_miss extra_pc =
-          let pcs = match extra_pc with Some c -> c :: t.State.pcs | None -> t.State.pcs in
           let mem =
             match Ir.Memory.try_write t.State.mem ~addr:concrete_addr ~width v with
             | Ok mem -> mem
             | Error msg -> raise (Fault (Memory_fault msg))
           in
-          let t = { t with State.pcs; mem } in
+          let t = match extra_pc with Some c -> State.add_pc t c | None -> t in
+          let t = { t with State.mem } in
           let t =
             charge cfg t instr ~mem_latency:o_latency ~store:true ~miss:o_miss ()
           in
@@ -263,8 +262,8 @@ and step_instr cfg (t : State.t) frame instr : step_result =
             Running (advance t (if c <> 0 then if_true else if_false))
         | _ -> (
             let taken_c, not_taken_c = branch_constraints cond_e in
-            let feasible c = Solver.Solve.feasible (c :: t.pcs) in
-            let mk c pc = { (advance t pc) with pcs = c :: t.pcs } in
+            let feasible c = Solver.Solve.feasible_cached ~query:c t.pcs in
+            let mk c pc = State.add_pc (advance t pc) c in
             match (feasible taken_c, feasible not_taken_c) with
             | true, false -> Running (mk taken_c if_true)
             | false, true -> Running (mk not_taken_c if_false)

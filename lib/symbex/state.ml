@@ -85,6 +85,13 @@ let initial program ~cache ~n_packets ~mem =
     id = fresh_id ();
   }
 
+let add_pc t c =
+  match c with
+  | Ir.Expr.Const k when k <> 0 -> t
+  | _ ->
+      if List.exists (Ir.Expr.equal_sexpr c) t.pcs then t
+      else { t with pcs = c :: t.pcs }
+
 let start_packet t =
   let done_metrics = t.cur :: t.done_metrics in
   if t.pkt + 1 >= t.n_packets then

@@ -53,6 +53,12 @@ val initial :
     the corresponding symbol of packet 0.
     @raise Invalid_argument on a parameter that is not a field name. *)
 
+val add_pc : t -> Ir.Expr.sexpr -> t
+(** Push a path constraint (newest first).  Trivially-true constants and
+    constraints already present structurally are dropped — re-taken branches
+    and re-touched pointers otherwise append the same constraint over and
+    over, inflating every downstream solver call. *)
+
 val start_packet : t -> t
 (** Begin processing the next symbolic packet: archive the current packet's
     metrics and re-enter the entry function on fresh symbols.  Sets

@@ -5,6 +5,7 @@ let () =
       ("ir", Test_ir.tests);
       ("lowering-diff", Test_lowering_diff.tests);
       ("solver", Test_solver.tests);
+      ("solver-cache", Test_solver_cache.tests);
       ("cache", Test_cache.tests);
       ("hashrev", Test_hashrev.tests);
       ("symbex", Test_symbex.tests);

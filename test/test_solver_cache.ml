@@ -1,0 +1,182 @@
+(* Tests for the solver query-optimization layer: independent-constraint
+   slicing (Solver.Slice) and the canonicalized query cache (Solver.Qcache)
+   behind Solve.feasible_cached.  The load-bearing property is the first
+   one: cached and uncached feasibility must agree verdict-for-verdict, on
+   satisfiable path conditions (the regime the symbex engine guarantees:
+   every constraint passed a feasibility check at insertion). *)
+
+open Ir.Expr
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_fresh_cache f =
+  (* Tests share the process-ambient cache with everything else in the
+     suite; isolate and always restore the default-enabled state. *)
+  Solver.Qcache.set_enabled true;
+  Solver.Qcache.clear ();
+  Fun.protect ~finally:(fun () ->
+      Solver.Qcache.set_enabled true;
+      Solver.Qcache.clear ())
+    f
+
+(* Satisfiable-by-construction constraint sets, as in test_solver's
+   never_unsat_on_satisfiable: pin each random expression to its value
+   under a seed-derived assignment. *)
+let satisfiable_set seed es =
+  let leaf = Test_solver.assignment_of seed in
+  List.filter_map
+    (fun e ->
+      match eval ~leaf e with
+      | exception Division_by_zero -> None
+      | v -> Some (Cmp (Eq, e, Const v) : sexpr))
+    es
+
+let cached_agrees_with_uncached =
+  QCheck.Test.make
+    ~name:"feasible_cached agrees with feasible on satisfiable sets"
+    ~count:400
+    QCheck.(
+      triple small_int bool
+        (list_of_size (QCheck.Gen.int_range 2 7) Test_solver.arb_sexpr))
+    (fun (seed, contradict, es) ->
+      with_fresh_cache @@ fun () ->
+      match satisfiable_set seed es with
+      | [] -> true
+      | q :: pcs ->
+          (* Optionally turn the query into a propagation-provable
+             contradiction of a pcs constraint (e = v while pcs pins
+             e = v+1), exercising the unsat side of the cache. *)
+          let q, pcs =
+            if contradict && pcs <> [] then
+              match List.hd pcs with
+              | Cmp (Eq, e, Const v) -> ((Cmp (Eq, e, Const (v + 1)) : sexpr), pcs)
+              | _ -> (q, pcs)
+            else (q, pcs)
+          in
+          let uncached = Solver.Solve.feasible (q :: pcs) in
+          (* Ask repeatedly: the first call populates the cache, the second
+             must answer from it; both must match the uncached verdict. *)
+          let c1 = Solver.Solve.feasible_cached ~query:q pcs in
+          let c2 = Solver.Solve.feasible_cached ~query:q pcs in
+          c1 = uncached && c2 = uncached)
+
+let slicing_keeps_query_component =
+  QCheck.Test.make
+    ~name:"slicing never drops a constraint sharing a variable with the query"
+    ~count:400
+    QCheck.(
+      pair Test_solver.arb_sexpr
+        (list_of_size (QCheck.Gen.int_range 0 8) Test_solver.arb_sexpr))
+    (fun (query, pcs) ->
+      let slice, dropped = Solver.Slice.relevant ~query pcs in
+      let shares_sym c =
+        let qsyms = Solver.Slice.free_syms query in
+        List.exists
+          (fun s -> List.exists (fun s' -> compare_sym s s' = 0) qsyms)
+          (Solver.Slice.free_syms c)
+      in
+      List.length slice + dropped = List.length pcs
+      && List.for_all
+           (fun c ->
+             (not (shares_sym c))
+             || List.exists (fun c' -> equal_sexpr c c') slice)
+           pcs)
+
+let slice_components () =
+  let dst = Test_solver.pkt0 Dst_ip
+  and src = Test_solver.pkt0 Src_ip
+  and sport = Test_solver.pkt0 Src_port in
+  let pcs : sexpr list =
+    [
+      Cmp (Eq, src, Const 1);
+      Cmp (Eq, sport, Const 2);
+      Cmp (Eq, dst, Const 3);
+      Cmp (Eq, Const 1, Const 1) (* ground: must never be sliced away *);
+    ]
+  in
+  let slice, dropped =
+    Solver.Slice.relevant ~query:(Cmp (Lt, dst, Const 10)) pcs
+  in
+  Alcotest.(check int) "dropped the two unrelated constraints" 2 dropped;
+  Alcotest.(check bool) "kept the dst constraint" true
+    (List.exists (equal_sexpr (Cmp (Eq, dst, Const 3) : sexpr)) slice);
+  Alcotest.(check bool) "kept the ground constraint" true
+    (List.exists (equal_sexpr (Cmp (Eq, Const 1, Const 1) : sexpr)) slice);
+  (* Transitive components: src links to sport through a shared constraint,
+     so a src query must keep the sport constraint too. *)
+  let linked : sexpr list =
+    [ Cmp (Lt, src, sport); Cmp (Eq, sport, Const 9); Cmp (Eq, dst, Const 3) ]
+  in
+  let slice, dropped =
+    Solver.Slice.relevant ~query:(Cmp (Eq, src, Const 4)) linked
+  in
+  Alcotest.(check int) "only dst dropped" 1 dropped;
+  Alcotest.(check int) "src+sport kept" 2 (List.length slice)
+
+let exact_and_alpha_hits () =
+  with_fresh_cache @@ fun () ->
+  Solver.Qcache.reset_stats ();
+  let q0 : sexpr = Cmp (Eq, Test_solver.pkt0 Dst_ip, Const 5) in
+  let q1 : sexpr = Cmp (Eq, Test_solver.pkt1 Dst_ip, Const 5) in
+  Alcotest.(check bool) "first ask" true
+    (Solver.Solve.feasible_cached ~query:q0 []);
+  Alcotest.(check bool) "second ask" true
+    (Solver.Solve.feasible_cached ~query:q0 []);
+  Alcotest.(check bool) "alpha-renamed ask" true
+    (Solver.Solve.feasible_cached ~query:q1 []);
+  let s = Solver.Qcache.stats () in
+  Alcotest.(check int) "one miss" 1 s.misses;
+  Alcotest.(check int) "exact + alpha hits" 2 s.hits
+
+let unsat_is_cached () =
+  with_fresh_cache @@ fun () ->
+  Solver.Qcache.reset_stats ();
+  let dst = Test_solver.pkt0 Dst_ip in
+  let pcs : sexpr list = [ Cmp (Eq, dst, Const 6) ] in
+  let q : sexpr = Cmp (Eq, dst, Const 5) in
+  Alcotest.(check bool) "contradiction refused" false
+    (Solver.Solve.feasible_cached ~query:q pcs);
+  Alcotest.(check bool) "still refused from cache" false
+    (Solver.Solve.feasible_cached ~query:q pcs);
+  let s = Solver.Qcache.stats () in
+  Alcotest.(check bool) "answered from cache" true (s.hits >= 1);
+  Alcotest.(check bool) "agrees with uncached" false
+    (Solver.Solve.feasible (q :: pcs))
+
+let disabled_is_bypass () =
+  with_fresh_cache @@ fun () ->
+  Solver.Qcache.set_enabled false;
+  Solver.Qcache.reset_stats ();
+  let q : sexpr = Cmp (Eq, Test_solver.pkt0 Dst_ip, Const 5) in
+  Alcotest.(check bool) "verdict unchanged" true
+    (Solver.Solve.feasible_cached ~query:q []);
+  Alcotest.(check bool) "verdict unchanged" true
+    (Solver.Solve.feasible_cached ~query:q []);
+  let s = Solver.Qcache.stats () in
+  Alcotest.(check int) "no queries recorded while disabled" 0 s.queries
+
+let model_reuse_fires () =
+  with_fresh_cache @@ fun () ->
+  Solver.Qcache.reset_stats ();
+  let dst = Test_solver.pkt0 Dst_ip and src = Test_solver.pkt0 Src_ip in
+  (* Populate the last-model slot via a solved query, then ask about an
+     unrelated symbol: not an exact hit (different shape), but the model
+     (unbound symbols read as 0) satisfies it. *)
+  Alcotest.(check bool) "seed model" true
+    (Solver.Solve.feasible_cached ~query:(Cmp (Eq, dst, Const 5)) []);
+  Alcotest.(check bool) "sibling query" true
+    (Solver.Solve.feasible_cached ~query:(Cmp (Lt, src, Const 9)) []);
+  let s = Solver.Qcache.stats () in
+  Alcotest.(check bool) "some non-solver answer" true
+    (s.subset_hits + s.model_reuse >= 1)
+
+let tests =
+  [
+    qtest cached_agrees_with_uncached;
+    qtest slicing_keeps_query_component;
+    Alcotest.test_case "slice components" `Quick slice_components;
+    Alcotest.test_case "exact + alpha-renamed hits" `Quick exact_and_alpha_hits;
+    Alcotest.test_case "unsat verdicts cached" `Quick unsat_is_cached;
+    Alcotest.test_case "--no-solver-cache bypass" `Quick disabled_is_bypass;
+    Alcotest.test_case "model-reuse fast path" `Quick model_reuse_fires;
+  ]

@@ -3,6 +3,8 @@
 
      check_telemetry trace FILE.jsonl   -- Chrome trace_event JSONL
      check_telemetry metrics FILE.json  -- run-manifest JSON
+     check_telemetry cache FILE.json    -- manifest must show the solver
+                                           query cache answered queries
      check_telemetry collapsed FILE     -- flamegraph collapsed stacks
      check_telemetry profile FILE.json [COLLAPSED]
                                         -- castan profile --profile-json
@@ -77,10 +79,55 @@ let check_metrics path =
       (match Obs.Json.member "counters" metrics with
       | Some (Obs.Json.Obj counters) ->
           if counters = [] then fail "%s: counters snapshot is empty" path;
-          if not (List.mem_assoc "solver.verdict.sat" counters) then
-            fail "%s: solver.verdict.sat counter missing" path
+          List.iter
+            (fun c ->
+              if not (List.mem_assoc c counters) then
+                fail "%s: %s counter missing" path c)
+            [
+              "solver.verdict.sat";
+              "solver.cache.hit";
+              "solver.cache.miss";
+              "solver.cache.subset_hit";
+              "solver.cache.model_reuse";
+              "solver.slice.constraints_dropped";
+            ]
       | _ -> fail "%s: counters is not an object" path);
+      (match Obs.Json.member "solver_cache" obj with
+      | Some (Obs.Json.Obj sc) ->
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k sc) then
+                fail "%s: solver_cache section missing %s" path k)
+            [ "enabled"; "queries"; "hits"; "queries_avoided"; "hit_rate" ]
+      | _ -> fail "%s: no solver_cache section" path);
       Printf.printf "%s: manifest ok\n" path
+
+(* `check_telemetry cache FILE.json`: beyond manifest well-formedness, the
+   @cache-smoke leg demands evidence the query cache actually worked — the
+   run must report at least one exact hit and a nonzero avoided-query
+   count. *)
+let check_cache path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj ->
+      let sc =
+        match Obs.Json.member "solver_cache" obj with
+        | Some (Obs.Json.Obj sc) -> sc
+        | _ -> fail "%s: no solver_cache section" path
+      in
+      let int_field k =
+        match List.assoc_opt k sc with
+        | Some (Obs.Json.Int n) -> n
+        | _ -> fail "%s: solver_cache.%s missing or not an integer" path k
+      in
+      (match List.assoc_opt "enabled" sc with
+      | Some (Obs.Json.Bool true) -> ()
+      | _ -> fail "%s: solver_cache.enabled is not true" path);
+      let hits = int_field "hits" and avoided = int_field "queries_avoided" in
+      if hits < 1 then fail "%s: expected at least one exact cache hit" path;
+      if avoided < 1 then fail "%s: expected at least one avoided query" path;
+      Printf.printf "%s: cache effective (%d exact hits, %d queries avoided)\n"
+        path hits avoided
 
 (* Each collapsed-stack line is `frames count`: a space-free semicolon-joined
    frame stack, one space, a non-negative integer.  Returns the counts. *)
@@ -152,10 +199,11 @@ let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> check_trace path
   | [| _; "metrics"; path |] -> check_metrics path
+  | [| _; "cache"; path |] -> check_cache path
   | [| _; "collapsed"; path |] -> check_collapsed path
   | [| _; "profile"; path |] -> check_profile path None
   | [| _; "profile"; path; collapsed |] -> check_profile path (Some collapsed)
   | _ ->
       fail
-        "usage: check_telemetry {trace|metrics|collapsed} FILE\n\
+        "usage: check_telemetry {trace|metrics|cache|collapsed} FILE\n\
         \       check_telemetry profile FILE.json [COLLAPSED]"
