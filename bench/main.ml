@@ -13,6 +13,7 @@ let experiment_config = ref Castan.Experiment.default_config
 let selected : string list ref = ref []
 let run_micro = ref false
 let json_out : string option ref = ref None
+let jobs = ref 0 (* 0 = unset: resolve to the recommended domain count *)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the inner operation behind each table     *)
@@ -106,12 +107,22 @@ let () =
     | "--no-solver-cache" :: rest ->
         Solver.Qcache.set_enabled false;
         parse rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 ->
+            jobs := k;
+            parse rest
+        | _ ->
+            Printf.eprintf "-j expects a positive integer, got %s\n" n;
+            exit 2)
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\nknown experiments: %s\n" arg
           (String.concat ", " Castan.Harness.ids);
         exit 2
   in
   parse args;
+  Util.Pool.set_default_jobs
+    (if !jobs <= 0 then Util.Pool.recommended_jobs () else !jobs);
   let ids = if !selected = [] then Castan.Harness.ids else !selected in
   if !run_micro then run_micro_benchmarks ()
   else begin
@@ -124,16 +135,27 @@ let () =
     (* With --json, snapshot the (cumulative) metrics after each experiment
        so the file attributes counter growth to the experiment that caused
        it. *)
+    (* Parallel phase: populate the campaign memo on the pool first, so the
+       serial per-experiment loop below (whose order the timings report
+       depends on) mostly renders cached results. *)
+    let prewarm_timed =
+      match Castan.Harness.prewarm !experiment_config ids with
+      | Some dt ->
+          Printf.printf "[prewarm done in %.1fs]\n%!" dt;
+          [ ("prewarm", dt, None) ]
+      | None -> []
+    in
     let timed =
-      List.map
-        (fun id ->
-          let seconds = Castan.Harness.run_id !experiment_config id in
-          let metrics =
-            if Option.is_some !json_out then Some (Obs.Metrics.snapshot ())
-            else None
-          in
-          (id, seconds, metrics))
-        ids
+      prewarm_timed
+      @ List.map
+          (fun id ->
+            let seconds = Castan.Harness.run_id !experiment_config id in
+            let metrics =
+              if Option.is_some !json_out then Some (Obs.Metrics.snapshot ())
+              else None
+            in
+            (id, seconds, metrics))
+          ids
     in
     match !json_out with
     | None -> ()

@@ -47,6 +47,20 @@ let no_solver_cache_arg =
                the flag exists for performance comparison and for pinning \
                that equivalence in CI.")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel sections (per-NF campaigns, \
+               per-workload measurements, rainbow-table shards).  Output is \
+               bit-identical for every N; $(b,-j 1) runs the exact serial \
+               code path.  Default: the machine's recommended domain \
+               count.")
+
+(* 0 = unset sentinel: the default must be computed, not baked into the
+   manpage. *)
+let set_jobs j =
+  Util.Pool.set_default_jobs
+    (if j <= 0 then Util.Pool.recommended_jobs () else j)
+
 (* Sinks are installed before the run; the manifest (which snapshots the
    metrics) is written and the trace sink closed from [at_exit], so the
    telemetry files are complete even on degraded (exit 2) runs. *)
@@ -108,8 +122,9 @@ let analyze_cmd =
                  outputs of the paper's §4).")
   in
   let run name output packets budget no_contention cache_model_file ktest
-      no_solver_cache trace metrics log_level =
+      no_solver_cache jobs trace metrics log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
+    set_jobs jobs;
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
         Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
     let nf = Nf.Registry.find name in
@@ -169,7 +184,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Synthesize an adversarial workload for an NF")
     Term.(
       const run $ nf_arg $ output $ packets $ budget $ no_contention
-      $ cache_model_file $ ktest $ no_solver_cache_arg $ trace_arg
+      $ cache_model_file $ ktest $ no_solver_cache_arg $ jobs_arg $ trace_arg
       $ metrics_arg $ log_level_arg)
 
 (* ---------------- profile ---------------- *)
@@ -240,8 +255,9 @@ let profile_cmd =
           first
   in
   let run name workload samples analyze budget seed top collapsed profile_json
-      no_solver_cache trace metrics log_level =
+      no_solver_cache jobs trace metrics log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
+    set_jobs jobs;
     let name = resolve name in
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
         Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
@@ -302,7 +318,7 @@ let profile_cmd =
              JSON)")
     Term.(
       const run $ nf_name $ workload $ samples $ analyze $ budget $ seed $ top
-      $ collapsed $ profile_json $ no_solver_cache_arg $ trace_arg
+      $ collapsed $ profile_json $ no_solver_cache_arg $ jobs_arg $ trace_arg
       $ metrics_arg $ log_level_arg)
 
 (* ---------------- probe-cache ---------------- *)
@@ -454,8 +470,10 @@ let experiment_cmd =
                  degradation paths.  RATE 0.0 is bit-identical to no \
                  injection.")
   in
-  let run id quick fail_fast inject no_solver_cache trace metrics log_level =
+  let run id quick fail_fast inject no_solver_cache jobs trace metrics
+      log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
+    set_jobs jobs;
     Util.Resilience.reset ();
     Util.Resilience.set_fail_fast fail_fast;
     Util.Resilience.set_injection
@@ -481,6 +499,11 @@ let experiment_cmd =
         Obs.Trace.with_span "run"
           ~args:[ ("id", Obs.Json.Str id) ]
           (fun () ->
+            (* Parallel phase: run the per-NF campaigns on the pool so the
+               serial rendering loop below hits the memo table. *)
+            (match Castan.Harness.prewarm config ids with
+            | Some dt -> Printf.printf "[prewarm done in %.1fs]\n%!" dt
+            | None -> ());
             List.iter
               (fun i -> ignore (Castan.Harness.run_id config i : float))
               ids)
@@ -505,7 +528,7 @@ let experiment_cmd =
        ~doc:"Regenerate one of the paper's tables, figures or ablations")
     Term.(
       const run $ id $ quick $ fail_fast $ inject $ no_solver_cache_arg
-      $ trace_arg $ metrics_arg $ log_level_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let () =
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in

@@ -43,11 +43,16 @@ type outcome = {
 (* Memoized rainbow tables and contention sets                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Both memo tables are shared across pool workers (campaigns for different
+   NFs reuse the same rainbow tables), so lookups are Mutex-guarded with
+   double-checked insertion: losing a race costs one redundant deterministic
+   build, never an inconsistent table. *)
+let rainbow_mu = Mutex.create ()
 let rainbow_cache : (string, Hashrev.Rainbow.t) Hashtbl.t = Hashtbl.create 8
 
 let rainbow_for hash_name ks =
   let key = hash_name ^ "/" ^ ks.Hashrev.Rainbow.ks_name in
-  match Hashtbl.find_opt rainbow_cache key with
+  match Mutex.protect rainbow_mu (fun () -> Hashtbl.find_opt rainbow_cache key) with
   | Some t -> t
   | None ->
       let hash = Hashrev.Hashes.lookup hash_name in
@@ -64,8 +69,14 @@ let rainbow_for hash_name ks =
           let chains = max 32768 (ks.Hashrev.Rainbow.count / 64) in
           Hashrev.Rainbow.build ~hash ks ~chains ~chain_len:256 ()
       in
-      Hashtbl.replace rainbow_cache key t;
-      t
+      Mutex.protect rainbow_mu (fun () ->
+          match Hashtbl.find_opt rainbow_cache key with
+          | Some t -> t
+          | None ->
+              Hashtbl.replace rainbow_cache key t;
+              t)
+
+let contention_mu = Mutex.create ()
 
 let contention_cache : (int * int * int * int, Cache.Contention.t) Hashtbl.t =
   Hashtbl.create 4
@@ -73,7 +84,9 @@ let contention_cache : (int * int * int * int, Cache.Contention.t) Hashtbl.t =
 let discover_contention_sets ?(slice_seed = 0) ?(pool = 512) ?(pages = 2)
     ?(reboots = 2) () =
   let key = (slice_seed, pool, pages, reboots) in
-  match Hashtbl.find_opt contention_cache key with
+  match
+    Mutex.protect contention_mu (fun () -> Hashtbl.find_opt contention_cache key)
+  with
   | Some t -> t
   | None ->
       let geom = Cache.Geometry.xeon_e5_2667v2 in
@@ -81,8 +94,12 @@ let discover_contention_sets ?(slice_seed = 0) ?(pool = 512) ?(pages = 2)
       let t =
         Cache.Contention.consistent ~slice_seed ~pages ~reboots ~geom ~offsets ()
       in
-      Hashtbl.replace contention_cache key t;
-      t
+      Mutex.protect contention_mu (fun () ->
+          match Hashtbl.find_opt contention_cache key with
+          | Some t -> t
+          | None ->
+              Hashtbl.replace contention_cache key t;
+              t)
 
 (* ------------------------------------------------------------------ *)
 (* The pipeline                                                        *)
@@ -168,6 +185,15 @@ let synthesize (nf : Nf.Nf_def.t) ~rng ~n_packets (s : Symbex.State.t) =
 
 let run ?config (nf : Nf.Nf_def.t) =
   let cfg = match config with Some c -> c | None -> default_config () in
+  (* Pin every id sequence an analysis consumes to its start: symbol,
+     state and fork ids become pure functions of the NF + config, so a
+     campaign produces identical constraints (and ktest files) no matter
+     what ran before it — serially or on a sibling pool worker.  This must
+     happen before [fresh_symbolic_memory] below, which already allocates
+     fresh symbols. *)
+  Ir.Expr.reset_fresh ();
+  Symbex.State.reset_ids ();
+  Symbex.Exec.reset_fork_ids ();
   let n_packets =
     match cfg.n_packets with Some n -> n | None -> nf.Nf.Nf_def.castan_packets
   in

@@ -36,10 +36,16 @@ let quick_config =
     seed = 42;
   }
 
+(* The memo table is shared across pool workers (Harness prewarms campaigns
+   in parallel), so access is Mutex-guarded with double-checked insertion:
+   two workers racing on the same key both run the (deterministic) campaign
+   but agree on one canonical cached value. *)
+let cache_mu = Mutex.create ()
+
 let cache : (string, (nf_run, Util.Resilience.failure) result) Hashtbl.t =
   Hashtbl.create 16
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () = Mutex.protect cache_mu (fun () -> Hashtbl.reset cache)
 
 let cache_key name (c : config) =
   Printf.sprintf "%s/%s/%d/%b" name
@@ -84,11 +90,6 @@ let campaign name config =
       let seed = config.seed in
       let samples = config.samples in
       let castan_flows = Testbed.Workload.flows castan.Analyze.workload in
-      let measure label w =
-        Obs.Trace.with_span "measure"
-          ~args:(("workload", Obs.Json.Str label) :: nf_arg)
-          (fun () -> Testbed.Tg.measure ~seed ~samples nf w)
-      in
       let generic =
         [
           ("1 Packet", shape (Testbed.Traffic.one_packet ()));
@@ -111,20 +112,26 @@ let campaign name config =
         | None -> []
       in
       let rows =
+        (* One pool task per workload; results come back in input order and
+           each measurement is a pure function of (nf, workload, seed). *)
         List.map
-          (fun (label, w) -> { label; measurement = measure label w })
-          (generic @ manual)
+          (fun (label, m) -> { label; measurement = m })
+          (Testbed.Tg.measure_all ~seed ~samples nf (generic @ manual))
       in
       { nf; nop = Testbed.Tg.nop_baseline ~seed ~samples (); rows; castan })
 
 let try_run ?(config = default_config) name =
   let key = cache_key name config in
-  match Hashtbl.find_opt cache key with
+  match Mutex.protect cache_mu (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
-  | None ->
+  | None -> (
       let r = campaign name config in
-      Hashtbl.replace cache key r;
-      r
+      Mutex.protect cache_mu (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some canonical -> canonical
+          | None ->
+              Hashtbl.replace cache key r;
+              r))
 
 let run ?(config = default_config) name =
   match try_run ~config name with

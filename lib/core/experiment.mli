@@ -39,7 +39,10 @@ val try_run :
     comes back as [Error] naming the stage (["symbex"] or ["testbed"]) and
     the reason, so callers (the harness, the tables) can render a
     [failed:<stage>] cell and continue with the other NFs.  Failures are
-    memoized like successes, keeping repeated table renders consistent. *)
+    memoized like successes, keeping repeated table renders consistent.
+    The memo table is Mutex-guarded: concurrent calls from {!Util.Pool}
+    workers (the harness prewarm) are safe, and racing callers agree on one
+    canonical cached value. *)
 
 val run : ?config:config -> string -> nf_run
 (** Raising wrapper over {!try_run}.
@@ -51,4 +54,5 @@ val find_row : nf_run -> string -> Testbed.Tg.measurement
 val workload_labels : nf_run -> string list
 
 val clear_cache : unit -> unit
-(** Forget memoized campaigns (tests use it to vary configurations). *)
+(** Forget memoized campaigns (tests use it to vary configurations).
+    Thread-safe. *)

@@ -67,15 +67,26 @@ let run_figure f config =
 
 let table_nfs = List.filter (fun n -> n <> "nop") Nf.Registry.names
 
+(* Discover contention sets once on the main domain before fanning out:
+   otherwise every worker races into the (Mutex-guarded, but expensive)
+   discovery and duplicates the work. *)
+let predis_contention (config : Experiment.config) =
+  if config.use_contention_model && Util.Pool.default_jobs () > 1 then
+    ignore (Analyze.discover_contention_sets () : Cache.Contention.t)
+
 (* Per-NF isolation: each campaign is guarded, so the result splits into
-   completed runs plus [failed:<stage>] columns — the table always renders. *)
+   completed runs plus [failed:<stage>] columns — the table always renders.
+   Campaigns fan out on the pool (one task per NF, memoized), so at [-j 1]
+   this is exactly the old serial loop. *)
 let all_runs config =
-  List.partition_map
-    (fun n ->
-      match Experiment.try_run ~config n with
-      | Ok r -> Either.Left r
-      | Error f -> Either.Right (n, f))
-    table_nfs
+  predis_contention config;
+  List.partition_map Fun.id
+    (Util.Pool.map
+       (fun n ->
+         match Experiment.try_run ~config n with
+         | Ok r -> Either.Left r
+         | Error f -> Either.Right (n, f))
+       table_nfs)
 
 let tables =
   [
@@ -460,6 +471,43 @@ let expand_id = function
   | "figures" -> List.map (fun f -> f.fid) figures
   | "all" -> ids
   | id -> [ id ]
+
+(* Campaign NFs behind a list of experiment ids, in first-use order — the
+   order a serial run would execute them in, which is the order the pool
+   commits their telemetry in.  Ablations and discussion entries drive
+   [Analyze.run] directly (unmemoized), so they contribute nothing here. *)
+let campaign_nfs ids =
+  let nf_of_id id =
+    match List.assoc_opt id figure_nfs with
+    | Some nf -> [ nf ]
+    | None ->
+        if List.exists (fun (tid, _, _) -> tid = id) tables then table_nfs
+        else []
+  in
+  let seen = Hashtbl.create 16 in
+  List.concat_map nf_of_id ids
+  |> List.filter (fun n ->
+         if Hashtbl.mem seen n then false
+         else begin
+           Hashtbl.add seen n ();
+           true
+         end)
+
+let prewarm config ids =
+  let nfs = campaign_nfs ids in
+  if Util.Pool.default_jobs () <= 1 || List.length nfs < 2 then None
+  else begin
+    predis_contention config;
+    let (), elapsed =
+      Obs.Trace.timed "prewarm"
+        ~args:[ ("nfs", Obs.Json.Int (List.length nfs)) ]
+        (fun () ->
+          ignore
+            (Util.Pool.map (fun n -> Experiment.try_run ~config n) nfs
+              : (Experiment.nf_run, Util.Resilience.failure) result list))
+    in
+    Some elapsed
+  end
 
 let run_id config id : float =
   match find id with

@@ -30,3 +30,13 @@ val run_id : Experiment.config -> string -> float
 
 val figure_nfs : (string * string) list
 (** [(figure id, NF name)] for the CDF figures — used by tests and docs. *)
+
+val prewarm : Experiment.config -> string list -> float option
+(** [prewarm config ids] runs the memoized per-NF campaigns behind [ids] on
+    the {!Util.Pool} — one task per distinct NF, in the order a serial run
+    would first need them — so the subsequent serial rendering pass hits
+    the memo table.  This is where [-j N] buys its campaign-level
+    parallelism.  Returns the wall seconds spent (recorded as a ["prewarm"]
+    trace span), or [None] when it would be pointless: fewer than two
+    distinct campaign NFs, or a default job count of 1 (keeping [-j 1]
+    exactly the pre-pool code path). *)

@@ -46,6 +46,19 @@ let solver_cache_json () =
       ("evictions", Obs.Json.Int s.evictions);
     ]
 
+(* Worker-pool accounting: how parallel the run actually was.  [tasks] and
+   [steals]/[worker_busy_ns] let a manifest reader tell a genuinely serial
+   run (jobs = 1, zero tasks) from a parallel one, and [bench_diff] warns
+   when two compared runs used different job counts. *)
+let pool_json () =
+  let s = Util.Pool.stats () in
+  Obs.Json.Obj
+    [
+      ("tasks", Obs.Json.Int s.Util.Pool.tasks);
+      ("steals", Obs.Json.Int s.Util.Pool.steals);
+      ("worker_busy_ns", Obs.Json.Int s.Util.Pool.worker_busy_ns);
+    ]
+
 let make ?ids ?config ?(extra = []) () =
   Obs.Json.Obj
     ([
@@ -53,6 +66,7 @@ let make ?ids ?config ?(extra = []) () =
        ("version", Obs.Json.Str "1.0.0");
        ("generated_at_unix", Obs.Json.Float (Unix.gettimeofday ()));
        ("git", Obs.Json.Str (git_describe ()));
+       ("jobs", Obs.Json.Int (Util.Pool.default_jobs ()));
      ]
     @ (match ids with
       | Some l -> [ ("experiments", Obs.Json.List (List.map (fun i -> Obs.Json.Str i) l)) ]
@@ -64,6 +78,7 @@ let make ?ids ?config ?(extra = []) () =
     @ [
         ("metrics", Obs.Metrics.snapshot ());
         ("solver_cache", solver_cache_json ());
+        ("pool", pool_json ());
       ]
     (* Profiled runs carry their site-level attribution alongside the
        metrics snapshot, so one manifest fully describes the run. *)

@@ -24,7 +24,11 @@ val make :
     snapshot is taken at call time — build the manifest {e after} the run.
     When the {!Obs.Profile} registry holds attribution samples, a
     ["profile"] section (site-level cycles/accesses plus wall-time buckets)
-    is embedded too. *)
+    is embedded too.  A top-level ["jobs"] field records the worker-pool
+    default in effect ([-j]), and a ["pool"] section its
+    [tasks]/[steals]/[worker_busy_ns] counters; apart from those (and the
+    timestamp and wall times), manifests are byte-identical across job
+    counts. *)
 
 val write : path:string -> Obs.Json.t -> unit
 (** Writes the manifest followed by a newline. *)

@@ -32,13 +32,25 @@ let chain_end hash ks chain_len start_idx =
 let build ~hash ks ?(chains = 4096) ?(chain_len = 64) () =
   let ends = Hashtbl.create chains in
   let n = min chains ks.count in
-  for c = 0 to n - 1 do
-    (* Deterministic spread of start points across the key space. *)
-    let start = c * (ks.count / n) in
-    let e = chain_end hash ks chain_len start in
-    let cur = match Hashtbl.find_opt ends e with Some l -> l | None -> [] in
-    Hashtbl.replace ends e (start :: cur)
-  done;
+  (* Each chain walk is a pure function of its start point, so the walks
+     shard freely across pool workers; the table insertions happen on the
+     main domain in chain order, making the bucket lists (and therefore
+     [invert]'s candidate order) identical to a serial build. *)
+  let shards =
+    Util.Pool.chunked n (fun ~lo ~hi ->
+        Array.init (hi - lo) (fun k ->
+            let c = lo + k in
+            (* Deterministic spread of start points across the key space. *)
+            let start = c * (ks.count / n) in
+            (start, chain_end hash ks chain_len start)))
+  in
+  List.iter
+    (Array.iter (fun (start, e) ->
+         let cur =
+           match Hashtbl.find_opt ends e with Some l -> l | None -> []
+         in
+         Hashtbl.replace ends e (start :: cur)))
+    shards;
   { hash; ks; repr = Chains { chain_len; ends }; entries = n }
 
 let build_exhaustive ~hash ks =
@@ -107,12 +119,20 @@ let hash t = t.hash
 let entries t = t.entries
 
 let coverage_sample t ~samples =
-  let rng = Util.Rng.create 0xc0de in
-  let hits = ref 0 in
-  for _ = 1 to samples do
-    (* Sample hash values that are actually achievable. *)
-    let k = t.ks.key_of_index (Util.Rng.int rng t.ks.count) in
-    let h = t.hash.Hashes.apply k in
-    if invert t h <> [] then incr hits
-  done;
-  float_of_int !hits /. float_of_int samples
+  (* Sample [i] draws from its own index-derived stream ({!Util.Rng.split_ix}),
+     so the hit count is independent of how samples are sharded across
+     workers — and equal to the serial count. *)
+  let root = Util.Rng.create 0xc0de in
+  let shard_hits =
+    Util.Pool.chunked samples (fun ~lo ~hi ->
+        let hits = ref 0 in
+        for i = lo to hi - 1 do
+          let rng = Util.Rng.split_ix root i in
+          (* Sample hash values that are actually achievable. *)
+          let k = t.ks.key_of_index (Util.Rng.int rng t.ks.count) in
+          let h = t.hash.Hashes.apply k in
+          if invert t h <> [] then incr hits
+        done;
+        !hits)
+  in
+  float_of_int (List.fold_left ( + ) 0 shard_hits) /. float_of_int samples

@@ -19,19 +19,36 @@ type sym =
   | Fresh of { id : int; label : string }
 
 (* Fresh symbols carry their width in a side table so that the variant stays
-   comparable with the structural [compare]. *)
-let fresh_widths : (int, int) Hashtbl.t = Hashtbl.create 64
-let fresh_counter = ref 0
+   comparable with the structural [compare].  Counter and table are
+   domain-local: concurrent analyses on {!Util.Pool} workers each allocate
+   their own dense id sequence (ids never cross domains — a Fresh sym is
+   only ever compared against syms from the same analysis), which keeps the
+   sequence independent of how analyses are scheduled. *)
+type fresh_state = {
+  mutable next_fresh : int;
+  widths : (int, int) Hashtbl.t;
+}
+
+let fresh_key : fresh_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { next_fresh = 0; widths = Hashtbl.create 64 })
+
+let reset_fresh () =
+  let fs = Domain.DLS.get fresh_key in
+  fs.next_fresh <- 0;
+  Hashtbl.reset fs.widths
 
 let fresh ~label ~width =
-  incr fresh_counter;
-  let id = !fresh_counter in
-  Hashtbl.replace fresh_widths id width;
+  let fs = Domain.DLS.get fresh_key in
+  fs.next_fresh <- fs.next_fresh + 1;
+  let id = fs.next_fresh in
+  Hashtbl.replace fs.widths id width;
   Fresh { id; label }
 
 let sym_width = function
   | Pkt { field; _ } -> field_width field
-  | Fresh { id; _ } -> ( try Hashtbl.find fresh_widths id with Not_found -> 62)
+  | Fresh { id; _ } -> (
+      try Hashtbl.find (Domain.DLS.get fresh_key).widths id
+      with Not_found -> 62)
 
 let pp_sym ppf = function
   | Pkt { pkt; field } -> Format.fprintf ppf "pkt%d.%s" pkt (field_name field)

@@ -32,7 +32,16 @@ val sym_width : sym -> int
     encoded at creation time via {!fresh}. *)
 
 val fresh : label:string -> width:int -> sym
-(** Allocates a fresh symbol with a process-unique id. *)
+(** Allocates a fresh symbol with a domain-unique id (the counter and width
+    table are domain-local, so concurrent analyses on {!Util.Pool} workers
+    do not interleave id sequences). *)
+
+val reset_fresh : unit -> unit
+(** Resets this domain's fresh-symbol counter and width table.
+    [Core.Analyze.run] calls this at the start of every analysis so symbol
+    ids depend only on the NF being analyzed, never on what ran before —
+    a precondition for [-j 1] and [-j N] campaigns producing identical
+    constraints. *)
 
 val pp_sym : Format.formatter -> sym -> unit
 val compare_sym : sym -> sym -> int

@@ -8,11 +8,13 @@ type tnode = {
   mutable right : tnode option;
 }
 
-let node_counter = ref 0
+(* Atomic: NF builds can run concurrently on pool workers.  Ids are only
+   used as Hashtbl keys inside [flatten] (addresses come from preorder
+   position), so they need to be unique, not sequential. *)
+let node_counter = Atomic.make 0
 
 let new_node () =
-  incr node_counter;
-  { id = !node_counter; nh = 0; left = None; right = None }
+  { id = Atomic.fetch_and_add node_counter 1; nh = 0; left = None; right = None }
 
 let insert root (r : Config.route) =
   let rec go node depth =

@@ -14,9 +14,10 @@ val level_of_string : string -> level option
 
 val level_name : level -> string
 
-val info : ('a, out_channel, unit) format -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
 (** Printed at [Info] and [Debug]; prefixed ["castan: "], newline-terminated
-    and flushed. *)
+    and flushed.  On a {!Util.Pool} worker the line is buffered and flushed
+    at join in task-index order. *)
 
-val debug : ('a, out_channel, unit) format -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a
 (** Printed at [Debug] only; prefixed ["castan[debug]: "]. *)

@@ -30,71 +30,180 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+(* ------------------------------------------------------------------ *)
+(* Worker-local capture                                                *)
+(* ------------------------------------------------------------------ *)
 
-let incr ?(by = 1) c = if !active_flag then c.count <- c.count + by
+(* On a pool worker, instruments are recorded by {e name} into a
+   domain-local context and merged into the global registry in task-index
+   order at join, so the globals see the exact stream a serial run would
+   have produced.  Only the redirection is per-domain; the gating read of
+   [active_flag] stays a single ref read (workers never write it), so the
+   disabled path is unchanged. *)
+
+type wl_gauge = {
+  mutable wl_last : int;
+  mutable wl_min : int;
+  mutable wl_max : int;
+  mutable wl_set : bool;
+}
+
+type wctx = {
+  wl_counters : (string, int ref) Hashtbl.t;
+  wl_gauges : (string, wl_gauge) Hashtbl.t;
+  wl_hists : (string, int list ref) Hashtbl.t;  (* reversed *)
+}
+
+let wctx_key : wctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let counter name =
+  if Util.Pool.in_worker () then { c_name = name; count = 0 }
+  else
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; count = 0 } in
+        Hashtbl.add counters name c;
+        c
+
+let incr ?(by = 1) c =
+  if !active_flag then
+    match Domain.DLS.get wctx_key with
+    | None -> c.count <- c.count + by
+    | Some ctx -> (
+        match Hashtbl.find_opt ctx.wl_counters c.c_name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add ctx.wl_counters c.c_name (ref by))
+
 let counter_value c = c.count
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; last = 0; min_v = 0; max_v = 0; g_set = false } in
-      Hashtbl.add gauges name g;
-      g
+  if Util.Pool.in_worker () then
+    { g_name = name; last = 0; min_v = 0; max_v = 0; g_set = false }
+  else
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g = { g_name = name; last = 0; min_v = 0; max_v = 0; g_set = false } in
+        Hashtbl.add gauges name g;
+        g
+
+let gauge_apply g v =
+  g.last <- v;
+  if (not g.g_set) || v > g.max_v then g.max_v <- v;
+  if (not g.g_set) || v < g.min_v then g.min_v <- v;
+  g.g_set <- true
 
 let gauge_set g v =
-  if !active_flag then begin
-    g.last <- v;
-    if (not g.g_set) || v > g.max_v then g.max_v <- v;
-    if (not g.g_set) || v < g.min_v then g.min_v <- v;
-    g.g_set <- true
-  end
+  if !active_flag then
+    match Domain.DLS.get wctx_key with
+    | None -> gauge_apply g v
+    | Some ctx -> (
+        match Hashtbl.find_opt ctx.wl_gauges g.g_name with
+        | Some wl ->
+            wl.wl_last <- v;
+            if (not wl.wl_set) || v > wl.wl_max then wl.wl_max <- v;
+            if (not wl.wl_set) || v < wl.wl_min then wl.wl_min <- v;
+            wl.wl_set <- true
+        | None ->
+            Hashtbl.add ctx.wl_gauges g.g_name
+              { wl_last = v; wl_min = v; wl_max = v; wl_set = true })
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          samples = [||];
-          n = 0;
-          seen = 0;
-          sum = 0.;
-          rng = Util.Rng.create 0x0b5e;
-        }
-      in
-      Hashtbl.add histograms name h;
-      h
+  if Util.Pool.in_worker () then
+    {
+      h_name = name;
+      samples = [||];
+      n = 0;
+      seen = 0;
+      sum = 0.;
+      rng = Util.Rng.create 0x0b5e;
+    }
+  else
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_name = name;
+            samples = [||];
+            n = 0;
+            seen = 0;
+            sum = 0.;
+            rng = Util.Rng.create 0x0b5e;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+
+let observe_raw h v =
+  h.seen <- h.seen + 1;
+  h.sum <- h.sum +. float_of_int v;
+  if h.n < cap then begin
+    if h.n >= Array.length h.samples then begin
+      let grown = Array.make (max 64 (2 * Array.length h.samples)) 0 in
+      Array.blit h.samples 0 grown 0 h.n;
+      h.samples <- grown
+    end;
+    h.samples.(h.n) <- v;
+    h.n <- h.n + 1
+  end
+  else
+    (* Vitter's algorithm R: keep each of the [seen] samples with equal
+       probability cap/seen. *)
+    let j = Util.Rng.int h.rng h.seen in
+    if j < cap then h.samples.(j) <- v
 
 let observe h v =
-  if !active_flag then begin
-    h.seen <- h.seen + 1;
-    h.sum <- h.sum +. float_of_int v;
-    if h.n < cap then begin
-      if h.n >= Array.length h.samples then begin
-        let grown = Array.make (max 64 (2 * Array.length h.samples)) 0 in
-        Array.blit h.samples 0 grown 0 h.n;
-        h.samples <- grown
-      end;
-      h.samples.(h.n) <- v;
-      h.n <- h.n + 1
-    end
-    else
-      (* Vitter's algorithm R: keep each of the [seen] samples with equal
-         probability cap/seen. *)
-      let j = Util.Rng.int h.rng h.seen in
-      if j < cap then h.samples.(j) <- v
-  end
+  if !active_flag then
+    match Domain.DLS.get wctx_key with
+    | None -> observe_raw h v
+    | Some ctx -> (
+        match Hashtbl.find_opt ctx.wl_hists h.h_name with
+        | Some r -> r := v :: !r
+        | None -> Hashtbl.add ctx.wl_hists h.h_name (ref [ v ]))
 
 let observe_span_us h seconds = observe h (int_of_float (seconds *. 1e6))
+
+(* Capture provider: [prepare] installs a fresh context on the worker,
+   [finish] detaches it, [commit] replays the captured deltas through the
+   global instruments on the main domain.  Histogram values are replayed
+   one-by-one through [observe_raw] so the reservoir (and its private RNG)
+   ends up in the exact state a serial run would have left it in. *)
+let () =
+  Util.Pool.register_provider (fun () ->
+      Domain.DLS.set wctx_key
+        (Some
+           {
+             wl_counters = Hashtbl.create 16;
+             wl_gauges = Hashtbl.create 8;
+             wl_hists = Hashtbl.create 8;
+           });
+      fun () ->
+        let ctx =
+          match Domain.DLS.get wctx_key with
+          | Some ctx -> ctx
+          | None -> assert false
+        in
+        Domain.DLS.set wctx_key None;
+        fun () ->
+          Hashtbl.iter
+            (fun name r -> (counter name).count <- (counter name).count + !r)
+            ctx.wl_counters;
+          Hashtbl.iter
+            (fun name wl ->
+              if wl.wl_set then begin
+                let g = gauge name in
+                gauge_apply g wl.wl_min;
+                gauge_apply g wl.wl_max;
+                gauge_apply g wl.wl_last
+              end)
+            ctx.wl_gauges;
+          Hashtbl.iter
+            (fun name r ->
+              let h = histogram name in
+              List.iter (fun v -> observe_raw h v) (List.rev !r))
+            ctx.wl_hists)
 
 let snapshot () =
   let sorted_fields tbl extract =

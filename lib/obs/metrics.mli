@@ -10,7 +10,15 @@
 
     Instruments are identified by dotted names ([solver.verdict.sat],
     [cache.model.miss], [symbex.kills.heap-exhausted], ...); creating the
-    same name twice returns the same instrument. *)
+    same name twice returns the same instrument.
+
+    The registry is domain-safe under {!Util.Pool}: on a worker domain,
+    recording is redirected by instrument {e name} into a domain-local
+    capture context ([counter]/[gauge]/[histogram] return detached records
+    there, never touching the shared tables), and the pool merges captures
+    into the global registry in task-index order at join — so
+    {!snapshot} is bit-identical to a serial run.  The inactive path stays
+    a single ref read on every domain. *)
 
 type counter
 type gauge

@@ -12,6 +12,18 @@ let depth_ = ref 0
    tracing is off. *)
 let disabled_span = { name = "<disabled>"; start = 0.; args = [] }
 
+(* On a pool worker, emitted lines and span records are buffered into a
+   domain-local context — the sink (an out_channel or a Hashtbl) is not
+   domain-safe — and the pool replays them on the main domain in task-index
+   order.  Nesting depth is likewise tracked per worker. *)
+type wctx = {
+  mutable w_lines : string list;  (* reversed *)
+  mutable w_spans : (string * float) list;  (* reversed *)
+  mutable w_depth : int;
+}
+
+let wctx_key : wctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
 let sink () = !current
 let enabled () = Sink.active !current
 
@@ -22,7 +34,21 @@ let set_sink s =
   depth_ := 0
 
 let close () = set_sink Sink.null
-let depth () = !depth_
+
+let depth () =
+  match Domain.DLS.get wctx_key with
+  | Some ctx -> ctx.w_depth
+  | None -> !depth_
+
+let incr_depth () =
+  match Domain.DLS.get wctx_key with
+  | Some ctx -> ctx.w_depth <- ctx.w_depth + 1
+  | None -> incr depth_
+
+let decr_depth () =
+  match Domain.DLS.get wctx_key with
+  | Some ctx -> ctx.w_depth <- ctx.w_depth - 1
+  | None -> decr depth_
 
 let us_since_start t = (t -. !t0) *. 1e6
 
@@ -34,24 +60,32 @@ let emit ~name ~ph ~ts ?dur ~args () =
     @ (match ph with "i" -> [ ("s", Json.Str "t") ] | _ -> [])
     @ (match args with [] -> [] | l -> [ ("args", Json.Obj l) ])
   in
-  Sink.write !current (Json.to_string (Json.Obj fields))
+  let line = Json.to_string (Json.Obj fields) in
+  match Domain.DLS.get wctx_key with
+  | Some ctx -> ctx.w_lines <- line :: ctx.w_lines
+  | None -> Sink.write !current line
+
+let note_span ~name ~dur =
+  match Domain.DLS.get wctx_key with
+  | Some ctx -> ctx.w_spans <- (name, dur) :: ctx.w_spans
+  | None -> Sink.record_span !current ~name ~dur
 
 let enter ?(args = []) name =
   if not (enabled ()) then disabled_span
   else begin
-    incr depth_;
+    incr_depth ();
     { name; start = Unix.gettimeofday (); args }
   end
 
 let exit sp =
   if sp == disabled_span then 0.
   else begin
-    decr depth_;
+    decr_depth ();
     let now = Unix.gettimeofday () in
     let dur = now -. sp.start in
     emit ~name:sp.name ~ph:"X" ~ts:(us_since_start sp.start)
       ~dur:(dur *. 1e6) ~args:sp.args ();
-    Sink.record_span !current ~name:sp.name ~dur;
+    note_span ~name:sp.name ~dur;
     dur
   end
 
@@ -69,14 +103,14 @@ let with_span ?(args = []) name f =
 
 let timed ?(args = []) name f =
   let emitting = enabled () in
-  if emitting then incr depth_;
+  if emitting then incr_depth ();
   let start = Unix.gettimeofday () in
   let finish () =
     let dur = Unix.gettimeofday () -. start in
     if emitting then begin
-      decr depth_;
+      decr_depth ();
       emit ~name ~ph:"X" ~ts:(us_since_start start) ~dur:(dur *. 1e6) ~args ();
-      Sink.record_span !current ~name ~dur
+      note_span ~name ~dur
     end;
     dur
   in
@@ -89,3 +123,22 @@ let timed ?(args = []) name f =
 let instant ?(args = []) name =
   if enabled () then
     emit ~name ~ph:"i" ~ts:(us_since_start (Unix.gettimeofday ())) ~args ()
+
+(* Capture provider: buffer on the worker, flush through the real sink on
+   the main domain at join. *)
+let () =
+  Util.Pool.register_provider (fun () ->
+      Domain.DLS.set wctx_key (Some { w_lines = []; w_spans = []; w_depth = 0 });
+      fun () ->
+        let ctx =
+          match Domain.DLS.get wctx_key with
+          | Some ctx -> ctx
+          | None -> assert false
+        in
+        Domain.DLS.set wctx_key None;
+        fun () ->
+          List.iter (fun line -> Sink.write !current line)
+            (List.rev ctx.w_lines);
+          List.iter
+            (fun (name, dur) -> Sink.record_span !current ~name ~dur)
+            (List.rev ctx.w_spans))

@@ -18,29 +18,7 @@ type entry = {
 let max_entries = 4096
 let max_scan = 8
 
-(* --- ambient state ------------------------------------------------- *)
-
-let enabled_ref = ref true
-let enabled () = !enabled_ref
-let set_enabled b = enabled_ref := b
-
-let table : (shape, entry) Hashtbl.t = Hashtbl.create 512
-
-(* Per-constraint index into satisfiable entries: any cached assignment
-   whose entry shares a constraint with the query is a candidate model. *)
-let sat_index : (Expr.sexpr, entry) Hashtbl.t = Hashtbl.create 512
-
-(* Recent unsatisfiable sets, newest first, for the superset rule. *)
-let unsat_sets : Expr.sexpr list list ref = ref []
-let last_model : model option ref = ref None
-
-let clear () =
-  Hashtbl.reset table;
-  Hashtbl.reset sat_index;
-  unsat_sets := [];
-  last_model := None
-
-(* --- statistics ----------------------------------------------------- *)
+(* --- statistics ------------------------------------------------------ *)
 
 type stats = {
   queries : int;
@@ -63,9 +41,57 @@ let zero =
     evictions = 0;
   }
 
-let st = ref zero
-let stats () = !st
-let reset_stats () = st := zero
+(* --- ambient state ---------------------------------------------------- *)
+
+let enabled_ref = ref true
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+(* The whole cache lives in a state record so that each {!Util.Pool} task
+   gets a private one (the tables are not domain-safe, and sharing them
+   across workers would make hit patterns scheduling-dependent).  The
+   per-task lifecycle is deterministic because [Symbex.Driver.run] clears
+   the cache at the start of every exploration anyway — a fresh state per
+   task reproduces exactly what a serial run sees at that point.  At join,
+   only the integer counters are folded into the main state; the worker
+   tables are dropped. *)
+type state = {
+  qc_table : (shape, entry) Hashtbl.t;
+  qc_sat_index : (Expr.sexpr, entry) Hashtbl.t;
+      (* per-constraint index into satisfiable entries: any cached
+         assignment whose entry shares a constraint with the query is a
+         candidate model *)
+  mutable qc_unsat_sets : Expr.sexpr list list;
+      (* recent unsatisfiable sets, newest first, for the superset rule *)
+  mutable qc_last_model : model option;
+  mutable qc_st : stats;
+}
+
+let make_state () =
+  {
+    qc_table = Hashtbl.create 512;
+    qc_sat_index = Hashtbl.create 512;
+    qc_unsat_sets = [];
+    qc_last_model = None;
+    qc_st = zero;
+  }
+
+let main_state = make_state ()
+
+let state_key : state option Stdlib.Domain.DLS.key = Stdlib.Domain.DLS.new_key (fun () -> None)
+
+let state () =
+  match Stdlib.Domain.DLS.get state_key with Some s -> s | None -> main_state
+
+let clear () =
+  let t = state () in
+  Hashtbl.reset t.qc_table;
+  Hashtbl.reset t.qc_sat_index;
+  t.qc_unsat_sets <- [];
+  t.qc_last_model <- None
+
+let stats () = (state ()).qc_st
+let reset_stats () = (state ()).qc_st <- zero
 
 let m_hit = Obs.Metrics.counter "solver.cache.hit"
 let m_miss = Obs.Metrics.counter "solver.cache.miss"
@@ -73,11 +99,41 @@ let m_subset = Obs.Metrics.counter "solver.cache.subset_hit"
 let m_reuse = Obs.Metrics.counter "solver.cache.model_reuse"
 let m_dropped = Obs.Metrics.counter "solver.slice.constraints_dropped"
 
+let bump f =
+  let t = state () in
+  t.qc_st <- f t.qc_st
+
 let note_dropped n =
   if !enabled_ref && n > 0 then begin
-    st := { !st with constraints_dropped = !st.constraints_dropped + n };
+    bump (fun s -> { s with constraints_dropped = s.constraints_dropped + n });
     Obs.Metrics.incr ~by:n m_dropped
   end
+
+(* Capture provider: fresh cache state per pool task; counters folded into
+   the main state at join so manifests report campaign-wide totals. *)
+let () =
+  Util.Pool.register_provider (fun () ->
+      Stdlib.Domain.DLS.set state_key (Some (make_state ()));
+      fun () ->
+        let t =
+          match Stdlib.Domain.DLS.get state_key with
+          | Some t -> t
+          | None -> assert false
+        in
+        Stdlib.Domain.DLS.set state_key None;
+        fun () ->
+          let a = main_state.qc_st and b = t.qc_st in
+          main_state.qc_st <-
+            {
+              queries = a.queries + b.queries;
+              hits = a.hits + b.hits;
+              subset_hits = a.subset_hits + b.subset_hits;
+              model_reuse = a.model_reuse + b.model_reuse;
+              misses = a.misses + b.misses;
+              constraints_dropped =
+                a.constraints_dropped + b.constraints_dropped;
+              evictions = a.evictions + b.evictions;
+            })
 
 (* --- canonicalization ----------------------------------------------- *)
 
@@ -126,8 +182,9 @@ let rec subseq sub super =
 (* --- lookup ---------------------------------------------------------- *)
 
 let exact_hit cs =
+  let t = state () in
   let shape, inv = canon cs in
-  match Hashtbl.find_opt table shape with
+  match Hashtbl.find_opt t.qc_table shape with
   | None -> None
   | Some e when not e.sat -> Some `Unsat
   | Some e ->
@@ -141,7 +198,7 @@ let exact_hit cs =
           e.canon_model
       in
       if holds m cs then begin
-        last_model := Some m;
+        t.qc_last_model <- Some m;
         Some `Sat
       end
       else None
@@ -151,13 +208,14 @@ let exact_hit cs =
    ones that cached entries were stored under), under one shared scan
    budget.  Verified models are safe from any source. *)
 let subset_sat cs =
+  let t = state () in
   let budget = ref max_scan in
   let found = ref None in
   let try_entry e =
     if !found = None && !budget > 0 then begin
       decr budget;
       if holds e.real_model cs then begin
-        last_model := Some e.real_model;
+        t.qc_last_model <- Some e.real_model;
         found := Some `Sat
       end
     end
@@ -165,7 +223,7 @@ let subset_sat cs =
   List.iter
     (fun c ->
       if !found = None && !budget > 0 then
-        List.iter try_entry (Hashtbl.find_all sat_index c))
+        List.iter try_entry (Hashtbl.find_all t.qc_sat_index c))
     cs;
   !found
 
@@ -176,14 +234,12 @@ let superset_unsat cs =
     | ucs :: rest ->
         if subseq ucs cs then Some `Unsat else scan (n - 1) rest
   in
-  scan max_scan !unsat_sets
+  scan max_scan (state ()).qc_unsat_sets
 
 let reuse_last cs =
-  match !last_model with
+  match (state ()).qc_last_model with
   | Some m when holds m cs -> Some `Sat
   | _ -> None
-
-let bump f = st := f !st
 
 let find cs =
   if not !enabled_ref then `Unknown
@@ -221,7 +277,7 @@ let find cs =
 (* --- insertion ------------------------------------------------------- *)
 
 let room_for_one () =
-  if Hashtbl.length table >= max_entries then begin
+  if Hashtbl.length (state ()).qc_table >= max_entries then begin
     clear ();
     bump (fun s -> { s with evictions = s.evictions + 1 })
   end
@@ -229,6 +285,7 @@ let room_for_one () =
 let store_sat cs m =
   if !enabled_ref then begin
     room_for_one ();
+    let t = state () in
     let shape, inv = canon cs in
     (* Invert the sym -> id table: the stored assignment must survive alpha
        hits, so it is kept in canonical ids alongside the concrete one. *)
@@ -241,18 +298,20 @@ let store_sat cs m =
         m
     in
     let e = { canon_model; real_model = m; sat = true } in
-    Hashtbl.replace table shape e;
-    List.iter (fun c -> Hashtbl.add sat_index c e) cs;
-    last_model := Some m
+    Hashtbl.replace t.qc_table shape e;
+    List.iter (fun c -> Hashtbl.add t.qc_sat_index c e) cs;
+    t.qc_last_model <- Some m
   end
 
 let store_unsat cs =
   if !enabled_ref then begin
     room_for_one ();
+    let t = state () in
     let shape, _ = canon cs in
-    Hashtbl.replace table shape { canon_model = []; real_model = []; sat = false };
-    unsat_sets := cs :: !unsat_sets;
+    Hashtbl.replace t.qc_table shape
+      { canon_model = []; real_model = []; sat = false };
+    t.qc_unsat_sets <- cs :: t.qc_unsat_sets;
     (* The superset rule only ever scans the newest few; cap the list. *)
-    if List.length !unsat_sets > 4 * max_scan then
-      unsat_sets := List.filteri (fun i _ -> i < 2 * max_scan) !unsat_sets
+    if List.length t.qc_unsat_sets > 4 * max_scan then
+      t.qc_unsat_sets <- List.filteri (fun i _ -> i < 2 * max_scan) t.qc_unsat_sets
   end

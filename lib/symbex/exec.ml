@@ -98,12 +98,18 @@ let charge cfg (t : State.t) instr ?(mem_latency = 0) ?(load = false)
     steps = t.steps + 1;
   }
 
-(* Forked children get distinct ids for diagnostics. *)
-let fork_counter = ref 1_000_000
+(* Forked children get distinct ids for diagnostics.  Domain-local (plus a
+   per-analysis reset) for the same reason as [State.fresh_id]: ids must
+   depend only on the NF, not on sibling analyses in a pool campaign. *)
+let fork_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 1_000_000)
+
+let reset_fork_ids () = Domain.DLS.get fork_counter := 1_000_000
 
 let fresh_fork_id () =
-  incr fork_counter;
-  !fork_counter
+  let r = Domain.DLS.get fork_counter in
+  incr r;
+  !r
 
 (* Pointers whose constrained domain is this small fork one state per
    feasible target — standard KLEE behaviour for tiny resolutions (a trie

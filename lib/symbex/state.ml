@@ -38,11 +38,16 @@ type t = {
   id : int;
 }
 
-let next_id = ref 0
+(* Domain-local so concurrent analyses on pool workers allocate independent
+   dense sequences; [reset_ids] (called per analysis) makes the ids a pure
+   function of the NF being explored. *)
+let next_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let reset_ids () = Domain.DLS.get next_id := 0
 
 let fresh_id () =
-  incr next_id;
-  !next_id
+  let r = Domain.DLS.get next_id in
+  incr r;
+  !r
 
 let packet_sym pkt field : Ir.Expr.sexpr = Leaf (Ir.Expr.Pkt { pkt; field })
 

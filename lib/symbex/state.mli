@@ -46,6 +46,11 @@ type t = {
 
 val packet_sym : int -> Ir.Expr.field -> Ir.Expr.sexpr
 
+val reset_ids : unit -> unit
+(** Resets this domain's state-id counter.  Called by [Core.Analyze.run] at
+    the start of every analysis so ids depend only on the NF, not on what
+    was explored before (or concurrently on other pool workers). *)
+
 val initial :
   Ir.Cfg.t -> cache:Cache.Model.t -> n_packets:int -> mem:Ir.Expr.sexpr Ir.Memory.t -> t
 (** The entry function's parameters must be named after packet fields

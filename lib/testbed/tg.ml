@@ -16,15 +16,36 @@ let clock_ghz = 3.3
 let measure ?(seed = 42) ?(samples = 20_000) ?(prefetch = false) ?(ddio = false)
     ?(slice_seed = 0) nf w =
   let dut = Dut.create ~slice_seed ~prefetch ~ddio nf in
-  let rng = Util.Rng.create (0x7b + seed) in
+  (* Packet [i]'s TG-path noise comes from its own index-derived stream
+     ({!Util.Rng.split_ix}), so the latency array depends only on (seed, i)
+     — not on how many draws preceded it — which keeps measurements
+     identical whether workloads run serially or on pool workers. *)
+  let root = Util.Rng.create (0x7b + seed) in
   let dut_samples = Dut.replay dut w ~samples in
   let latencies =
-    Array.map
-      (fun (s : Dut.sample) ->
-        tg_base_ns rng +. (float_of_int s.cycles /. clock_ghz))
+    Array.mapi
+      (fun i (s : Dut.sample) ->
+        tg_base_ns (Util.Rng.split_ix root i)
+        +. (float_of_int s.cycles /. clock_ghz))
       dut_samples
   in
   { workload = w.Workload.name; latencies_ns = latencies; samples = dut_samples }
+
+let measure_all ?seed ?samples ?prefetch ?ddio ?slice_seed nf pairs =
+  (* One pool task per workload.  The DUT is stateful across packets (cache
+     warming), so the parallel grain is a whole measurement, never slices of
+     one; each task builds its own DUT from the same seeds. *)
+  Util.Pool.map
+    (fun (label, w) ->
+      Obs.Trace.with_span "measure"
+        ~args:
+          [
+            ("workload", Obs.Json.Str label);
+            ("nf", Obs.Json.Str nf.Nf.Nf_def.name);
+          ]
+        (fun () ->
+          (label, measure ?seed ?samples ?prefetch ?ddio ?slice_seed nf w)))
+    pairs
 
 let latency_cdf m = Util.Stats.cdf_of_samples m.latencies_ns
 

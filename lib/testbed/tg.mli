@@ -23,7 +23,19 @@ val measure :
 (** Fresh DUT, replay for [samples] packets (default 20,000).  [prefetch]
     and [ddio] configure the DUT machine (both default off); [slice_seed]
     selects the CPU's hidden slice hash (a different value models running
-    the workload on a different processor model). *)
+    the workload on a different processor model).  Packet [i]'s TG-path
+    noise is drawn from an index-derived RNG stream, so the result is a
+    pure function of the arguments. *)
+
+val measure_all :
+  ?seed:int -> ?samples:int -> ?prefetch:bool -> ?ddio:bool ->
+  ?slice_seed:int -> Nf.Nf_def.t -> (string * Workload.t) list ->
+  (string * measurement) list
+(** [measure_all nf [(label, w); ...]] measures each labeled workload —
+    one {!Util.Pool} task per workload, each wrapped in a ["measure"] trace
+    span — and returns results in input order.  Each task builds its own
+    DUT from the same seeds, so results are identical to mapping {!measure}
+    serially. *)
 
 val latency_cdf : measurement -> Util.Stats.cdf
 val cycles_cdf : measurement -> Util.Stats.cdf

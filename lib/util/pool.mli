@@ -1,0 +1,95 @@
+(** Fixed-size Domain worker pool with a determinism contract.
+
+    The contract: for any [f] that follows the repository's RNG and
+    telemetry discipline, the observable output of [map ~jobs f items] is
+    {e bit-identical for every value of [jobs]} — same results, in input
+    order; same run-manifest metrics; same failure-sink contents; same
+    exception raised when tasks fail.  Concretely:
+
+    - Results come back in input order, regardless of completion order.
+    - [~jobs:1] (and single-item inputs) take the exact pre-pool serial
+      code path: no domains are spawned, no capture contexts installed.
+    - Per-task telemetry (metrics, traces, profiles, solver-cache stats,
+      resilience failures) is captured into domain-local buffers while the
+      task runs and merged into the global registries {e in task-index
+      order} at join — the globals see the stream a serial run would have
+      produced.
+    - If tasks raise, every task still runs to completion, telemetry is
+      committed only for tasks [0..k] where [k] is the {e lowest} failing
+      index, and task [k]'s exception is re-raised with its backtrace —
+      exactly the serial prefix semantics.
+    - Tasks needing randomness must derive their generator from the task
+      index via {!Rng.split_ix}, never from a shared advancing stream.
+
+    Wall-clock values ([worker_busy_ns], the [steals] counter, span
+    durations) are scheduling-dependent and exempt, as they are for serial
+    runs. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to each item on up to [jobs] worker
+    domains and returns the results in input order.  [jobs] defaults to
+    {!default_jobs}; [jobs <= 1], a list of fewer than two items, or a call
+    from inside another pool task all run sequentially on the calling
+    domain (nested pools do not oversubscribe). *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, passing each item's index. *)
+
+val run : ?jobs:int -> (unit -> unit) list -> unit
+(** [run ~jobs fs] executes each thunk under the same contract as {!map},
+    discarding results. *)
+
+val chunked : ?jobs:int -> int -> (lo:int -> hi:int -> 'b) -> 'b list
+(** [chunked ~jobs n f] splits the index range [\[0, n)] into at most
+    [jobs] contiguous chunks and evaluates [f ~lo ~hi] for each, returning
+    chunk results in range order.  The chunk boundaries depend only on [n]
+    and the number of pieces, so callers that fold per-index values
+    (derived via {!Rng.split_ix}) get shard-invariant totals.  Sequential
+    fallbacks evaluate the single chunk [f ~lo:0 ~hi:n]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Job-count configuration                                             *)
+(* ------------------------------------------------------------------ *)
+
+val set_default_jobs : int -> unit
+(** Sets the process-wide default used when [?jobs] is omitted (clamped to
+    at least 1).  The CLI's [-j]/[--jobs] flag lands here.  Initial
+    default: 1, i.e. fully serial. *)
+
+val default_jobs : unit -> int
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j] defaults to at the
+    CLI. *)
+
+val in_worker : unit -> bool
+(** True on a pool worker domain (used by telemetry modules to pick the
+    domain-local capture path). *)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  tasks : int;  (** tasks executed on worker domains (serial runs: 0) *)
+  steals : int;
+      (** tasks run by a worker other than their static round-robin owner —
+          a load-imbalance indicator; scheduling-dependent *)
+  worker_busy_ns : int;  (** summed wall time spent inside tasks *)
+}
+
+val stats : unit -> stats
+(** Process-lifetime totals; recorded under ["pool"] in run manifests. *)
+
+val reset_stats : unit -> unit
+
+(**/**)
+
+type provider = unit -> unit -> unit -> unit
+(** [prepare] (worker, pre-task) returning [finish] (worker, post-task)
+    returning [commit] (main domain at join, called in task-index order).
+    Internal: telemetry modules register capture hooks at init time. *)
+
+val register_provider : provider -> unit
+
+(**/**)

@@ -39,10 +39,31 @@ let fail_fast_flag = ref false
 let set_fail_fast b = fail_fast_flag := b
 let fail_fast () = !fail_fast_flag
 
+(* The process-wide sink is Mutex-guarded; inside a {!Pool} task, failures
+   are captured into a domain-local buffer instead and merged by the pool in
+   task-index order at join, so the recorded order is the serial one. *)
 let sink : failure list ref = ref []
-let record f = sink := f :: !sink
-let recorded () = List.rev !sink
-let reset () = sink := []
+let sink_mu = Mutex.create ()
+
+let local_sink_key : failure list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let record f =
+  match Domain.DLS.get local_sink_key with
+  | Some buf -> buf := f :: !buf
+  | None -> Mutex.protect sink_mu (fun () -> sink := f :: !sink)
+
+let recorded () = Mutex.protect sink_mu (fun () -> List.rev !sink)
+let reset () = Mutex.protect sink_mu (fun () -> sink := [])
+
+let capture_begin () = Domain.DLS.set local_sink_key (Some (ref []))
+
+let capture_end () =
+  match Domain.DLS.get local_sink_key with
+  | None -> []
+  | Some buf ->
+      Domain.DLS.set local_sink_key None;
+      List.rev !buf
 
 (* ------------------------------------------------------------------ *)
 (* Guards                                                              *)
@@ -110,9 +131,10 @@ let retry ?(attempts = 3) ?(base_delay = 0.05) ?(max_delay = 1.0)
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-type injector = { rate : float; rng : Rng.t }
+type injector = { rate : float; rng : Rng.t; draw_mu : Mutex.t }
 
-let inject ~rate ~seed = { rate; rng = Rng.create (0xfa17 lxor seed) }
+let inject ~rate ~seed =
+  { rate; rng = Rng.create (0xfa17 lxor seed); draw_mu = Mutex.create () }
 
 let ambient : injector option ref = ref None
 let set_injection i = ambient := i
@@ -121,9 +143,13 @@ let injection_active () = !ambient <> None
 let checkpoint ?nf ~stage () =
   match !ambient with
   | None -> ()
-  | Some { rate; rng } ->
+  | Some { rate; rng; draw_mu } ->
       (* rate = 0. must not even draw: a disabled injector is bit-identical
-         to no injector at all. *)
-      if rate > 0. && Rng.float rng < rate then
+         to no injector at all.  The draw is Mutex-guarded because guarded
+         stages may run on pool workers; with jobs > 1 the injection
+         *pattern* depends on scheduling (the stream is shared), but each
+         draw is still well-defined and serial runs are unchanged. *)
+      if rate > 0. && Mutex.protect draw_mu (fun () -> Rng.float rng) < rate
+      then
         raise
           (Injected (failure ?nf ~stage "injected fault (--inject-faults)"))

@@ -18,6 +18,13 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+(* Index-keyed splitting for sharded loops: child [ix] is a pure function of
+   the parent's current state, so any partition of [0, n) into shards yields
+   the same per-index streams.  [ix + 1] keeps child 0 distinct from the
+   parent's own continuation. *)
+let split_ix t ix =
+  { state = mix (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (ix + 1)))) }
+
 let copy t = { state = t.state }
 
 let int t n =

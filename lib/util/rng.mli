@@ -15,6 +15,13 @@ val split : t -> t
 (** [split t] returns a new generator statistically independent of [t];
     [t] itself advances. *)
 
+val split_ix : t -> int -> t
+(** [split_ix t ix] derives the [ix]-th child stream of [t]'s current state
+    {e without advancing} [t].  Because the child depends only on
+    [(state, ix)], a loop that draws its per-iteration generator as
+    [split_ix root i] produces the same streams no matter how the iteration
+    space is sharded across workers — the discipline {!Pool} relies on. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (both copies then produce the same
     stream). *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "castan"
     [
       ("util", Test_util.tests);
+      ("pool", Test_pool.tests);
       ("ir", Test_ir.tests);
       ("lowering-diff", Test_lowering_diff.tests);
       ("solver", Test_solver.tests);

@@ -1,0 +1,233 @@
+(* Tests for the Util.Pool worker pool and its determinism contract: results
+   in input order for every [jobs], lowest-failing-index exception choice,
+   telemetry (metrics/profile/resilience) merged bit-identically, split_ix
+   RNG discipline, and the memo-table thread-safety the harness prewarm
+   relies on. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A cheap pure function with enough bit-mixing that ordering mistakes
+   cannot cancel out. *)
+let mix x = (x * 2654435761) lxor (x asr 3)
+
+(* ---------------- map/mapi vs the serial baseline ---------------- *)
+
+let map_matches_serial =
+  QCheck.Test.make ~name:"Pool.map ~jobs:k = List.map" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, items) ->
+      Util.Pool.map ~jobs mix items = List.map mix items)
+
+let mapi_matches_serial =
+  QCheck.Test.make ~name:"Pool.mapi ~jobs:k = List.mapi" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, items) ->
+      Util.Pool.mapi ~jobs (fun i x -> (i, mix x)) items
+      = List.mapi (fun i x -> (i, mix x)) items)
+
+exception Boom of int
+
+let raises_lowest_failing_index =
+  QCheck.Test.make ~name:"Pool.mapi re-raises the lowest failing index"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (small_list bool))
+    (fun (jobs, fails) ->
+      QCheck.assume (List.exists Fun.id fails);
+      (* expected failure: the first [true], computed explicitly — never via
+         List.map evaluation order *)
+      let rec first i = function
+        | [] -> assert false
+        | true :: _ -> i
+        | false :: rest -> first (i + 1) rest
+      in
+      let expected = first 0 fails in
+      match
+        Util.Pool.mapi ~jobs (fun i b -> if b then raise (Boom i) else i) fails
+      with
+      | _ -> false
+      | exception Boom i -> i = expected)
+
+let chunked_partitions =
+  QCheck.Test.make ~name:"Pool.chunked covers [0,n) contiguously" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 0 1000))
+    (fun (jobs, n) ->
+      let ranges = Util.Pool.chunked ~jobs n (fun ~lo ~hi -> (lo, hi)) in
+      if n = 0 then ranges = []
+      else
+        let rec contiguous expect = function
+          | [] -> expect = n
+          | (lo, hi) :: rest -> lo = expect && hi >= lo && contiguous hi rest
+        in
+        contiguous 0 ranges)
+
+(* ---------------- split_ix RNG discipline ---------------- *)
+
+(* Child streams depend only on (root state, index): deriving them in any
+   order — or from different shards — yields the same values, which is what
+   makes Pool.chunked sampling jobs-invariant. *)
+let split_ix_order_invariant () =
+  let draw root i = Util.Rng.int (Util.Rng.split_ix root i) 1_000_000 in
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  let forward = List.init 32 (fun i -> draw a i) in
+  let backward = List.rev (List.init 32 (fun i -> draw b (31 - i))) in
+  Alcotest.(check (list int)) "derivation order is irrelevant" forward backward;
+  (* split_ix must not advance the parent *)
+  let p = Util.Rng.create 7 in
+  ignore (Util.Rng.split_ix p 5 : Util.Rng.t);
+  let after = Util.Rng.int p 1_000_000 in
+  let q = Util.Rng.create 7 in
+  Alcotest.(check int) "parent stream untouched" (Util.Rng.int q 1_000_000)
+    after
+
+let split_ix_children_distinct () =
+  let root = Util.Rng.create 1234 in
+  let firsts =
+    List.init 100 (fun i -> Util.Rng.int (Util.Rng.split_ix root i) max_int)
+  in
+  Alcotest.(check int) "100 distinct child streams" 100
+    (List.length (List.sort_uniq compare firsts))
+
+(* ---------------- telemetry merge determinism ---------------- *)
+
+(* Instruments created *inside* the task, as instrumented modules do — on a
+   worker these are detached captures the pool replays by name at join. *)
+let metric_task i =
+  Obs.Metrics.incr ~by:(i + 1) (Obs.Metrics.counter "pool.test.ctr");
+  Obs.Metrics.gauge_set (Obs.Metrics.gauge "pool.test.gauge") (i * 7 mod 5);
+  Obs.Metrics.observe (Obs.Metrics.histogram "pool.test.hist") (i * 13 mod 17)
+
+let metrics_snapshot_with jobs =
+  Obs.Metrics.set_active true;
+  Obs.Metrics.reset ();
+  Util.Pool.run ~jobs (List.init 12 (fun i () -> metric_task i));
+  let s = Obs.Json.to_string (Obs.Metrics.snapshot ()) in
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_active false;
+  s
+
+let metrics_merge_deterministic () =
+  Alcotest.(check string) "serial and -j4 snapshots are byte-identical"
+    (metrics_snapshot_with 1) (metrics_snapshot_with 4)
+
+let profile_task i =
+  Obs.Profile.enter ~func:(Printf.sprintf "fn%d" (i mod 3)) ~pc:(i mod 5);
+  Obs.Profile.add_exec ~instrs:(i + 1) ~cycles:((2 * i) + 1) ~loads:i ~stores:1;
+  Obs.Profile.add_retire ~weight:1;
+  Obs.Profile.add_access ~write:(i mod 2 = 0) Obs.Profile.L1 ~cycles:4
+
+let profile_sites_with jobs =
+  Obs.Profile.set_enabled true;
+  Obs.Profile.reset ();
+  Util.Pool.run ~jobs (List.init 10 (fun i () -> profile_task i));
+  let sites = List.sort compare (Obs.Profile.sites ()) in
+  Obs.Profile.reset ();
+  Obs.Profile.set_enabled false;
+  sites
+
+let profile_merge_deterministic () =
+  let serial = profile_sites_with 1 and parallel = profile_sites_with 4 in
+  Alcotest.(check int) "same number of sites" (List.length serial)
+    (List.length parallel);
+  Alcotest.(check bool) "site-level attribution is jobs-invariant" true
+    (serial = parallel)
+
+let resilience_sink_with jobs =
+  Util.Resilience.reset ();
+  Util.Pool.run ~jobs
+    (List.init 8 (fun i () ->
+         Util.Resilience.record
+           (Util.Resilience.failure ~stage:(Printf.sprintf "s%d" i) "boom")));
+  let stages =
+    List.map (fun f -> f.Util.Resilience.stage) (Util.Resilience.recorded ())
+  in
+  Util.Resilience.reset ();
+  stages
+
+let resilience_sink_order_deterministic () =
+  Alcotest.(check (list string)) "failure sink in task-index order"
+    (resilience_sink_with 1) (resilience_sink_with 4);
+  Alcotest.(check (list string)) "which is submission order"
+    (List.init 8 (Printf.sprintf "s%d"))
+    (resilience_sink_with 4)
+
+(* ---------------- nesting, stats ---------------- *)
+
+let nested_pool_falls_back_sequential () =
+  (* A map inside a worker must not spawn domains (or deadlock): in_worker
+     routes it to the serial path within the task's capture context. *)
+  let r =
+    Util.Pool.map ~jobs:4
+      (fun base -> Util.Pool.map ~jobs:4 (fun x -> base + x) [ 1; 2; 3 ])
+      [ 10; 20; 30; 40 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested maps still ordered"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]
+    r
+
+let stats_count_tasks () =
+  Util.Pool.reset_stats ();
+  ignore (Util.Pool.map ~jobs:4 mix (List.init 8 Fun.id) : int list);
+  let s = Util.Pool.stats () in
+  Alcotest.(check int) "8 tasks accounted" 8 s.Util.Pool.tasks;
+  Alcotest.(check bool) "busy time accumulated" true
+    (s.Util.Pool.worker_busy_ns >= 0);
+  (* jobs = 1 takes the serial path: no pool accounting at all *)
+  Util.Pool.reset_stats ();
+  ignore (Util.Pool.map ~jobs:1 mix (List.init 8 Fun.id) : int list);
+  Alcotest.(check int) "serial path bypasses the pool" 0
+    (Util.Pool.stats ()).Util.Pool.tasks
+
+(* ---------------- the memo table under concurrency ---------------- *)
+
+let experiment_memo_thread_safe () =
+  Castan.Experiment.clear_cache ();
+  let results =
+    Util.Pool.map ~jobs:4
+      (fun _ -> Castan.Experiment.try_run ~config:Castan.Experiment.quick_config "nop")
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check int) "four results" 4 (List.length results);
+  List.iter
+    (fun r ->
+      match r with
+      | Ok run ->
+          Alcotest.(check string) "campaign for the right NF" "nop"
+            run.Castan.Experiment.nf.Nf.Nf_def.name
+      | Error f -> Alcotest.fail (Util.Resilience.to_string f))
+    results;
+  (* racing callers must have agreed on one canonical memoized value *)
+  (match results with
+  | Ok first :: rest ->
+      List.iter
+        (fun r ->
+          match r with
+          | Ok run ->
+              Alcotest.(check bool) "same canonical campaign" true (run == first)
+          | Error _ -> ())
+        rest
+  | _ -> ());
+  Castan.Experiment.clear_cache ()
+
+let tests =
+  [
+    qtest map_matches_serial;
+    qtest mapi_matches_serial;
+    qtest raises_lowest_failing_index;
+    qtest chunked_partitions;
+    Alcotest.test_case "split_ix is order-invariant" `Quick
+      split_ix_order_invariant;
+    Alcotest.test_case "split_ix children are distinct" `Quick
+      split_ix_children_distinct;
+    Alcotest.test_case "metrics merge is deterministic" `Quick
+      metrics_merge_deterministic;
+    Alcotest.test_case "profile merge is deterministic" `Quick
+      profile_merge_deterministic;
+    Alcotest.test_case "resilience sink order is deterministic" `Quick
+      resilience_sink_order_deterministic;
+    Alcotest.test_case "nested pool falls back to sequential" `Quick
+      nested_pool_falls_back_sequential;
+    Alcotest.test_case "pool stats count tasks" `Quick stats_count_tasks;
+    Alcotest.test_case "experiment memo is thread-safe" `Quick
+      experiment_memo_thread_safe;
+  ]

@@ -13,7 +13,9 @@
                          time is dominated by scheduler jitter
 
    Exit 0 when no experiment regressed beyond the gate, 1 when at least one
-   did, 2 on usage or file errors. *)
+   did, 2 on usage or file errors — or when the two manifests record
+   different worker-pool job counts ([jobs]), in which case their wall
+   times are not comparable and the gate is skipped with a warning. *)
 
 let usage_exit () =
   prerr_endline
@@ -56,6 +58,16 @@ let timings path =
               (id, seconds))
             entries
       | _ -> fail "%s: no experiments_timed section (bench --json output?)" path)
+
+(* Top-level [jobs] of a bench manifest; [None] for manifests predating the
+   worker pool. *)
+let jobs_of path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj -> (
+      match Obs.Json.member "jobs" obj with
+      | Some (Obs.Json.Int j) -> Some j
+      | _ -> None)
 
 (* Latest two BENCH_*.json in [dir] by (mtime, name); the older of the pair
    is the baseline. *)
@@ -105,6 +117,16 @@ let () =
     | [ base; next ] -> (base, next)
     | _ -> usage_exit ()
   in
+  (* Wall times measured at different job counts answer different questions;
+     refuse to gate on them rather than report a bogus regression. *)
+  (match (jobs_of base_path, jobs_of new_path) with
+  | Some jb, Some jn when jb <> jn ->
+      Printf.eprintf
+        "bench_diff: job counts differ (%s ran -j %d, %s ran -j %d); wall \
+         times are not comparable, skipping the regression gate\n"
+        base_path jb new_path jn;
+      exit 2
+  | _ -> ());
   let base = timings base_path and next = timings new_path in
   Printf.printf "bench_diff: %s -> %s (gate %.0f%%, noise %.3fs)\n" base_path
     new_path !max_regress !noise;

@@ -10,6 +10,15 @@
                                         -- castan profile --profile-json
                                            output, optionally cross-checked
                                            against its collapsed twin
+     check_telemetry pool FILE.json [MIN_TASKS]
+                                        -- manifest records jobs + pool
+                                           counters (and ran >= MIN_TASKS
+                                           pool tasks)
+     check_telemetry pool-eq A.json B.json
+                                        -- two manifests agree on everything
+                                           the worker pool promises to keep
+                                           bit-identical (metrics, config,
+                                           solver_cache) regardless of -j
 
    Exit 0 when the file is well formed, 1 (with a diagnostic on stderr) when
    it is not.  Uses the same Obs.Json parser the tests use, so "well formed"
@@ -195,6 +204,107 @@ let check_profile path collapsed =
       Printf.printf "%s: profile ok (%d blocks, %d cycles)\n" path
         (List.length blocks) total
 
+(* `check_telemetry pool FILE.json [MIN_TASKS]`: the manifest must record
+   which job count produced it and the pool's own accounting — and, when
+   MIN_TASKS is given, prove the pool actually ran (a parallel smoke run
+   that silently fell back to serial would pass every equality check). *)
+let check_pool path min_tasks =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj ->
+      let jobs =
+        match Obs.Json.member "jobs" obj with
+        | Some (Obs.Json.Int j) when j >= 1 -> j
+        | _ -> fail "%s: missing or non-positive jobs field" path
+      in
+      let pool =
+        match Obs.Json.member "pool" obj with
+        | Some (Obs.Json.Obj p) -> p
+        | _ -> fail "%s: no pool section" path
+      in
+      let int_field k =
+        match List.assoc_opt k pool with
+        | Some (Obs.Json.Int n) when n >= 0 -> n
+        | _ -> fail "%s: pool.%s missing or not a non-negative integer" path k
+      in
+      let tasks = int_field "tasks" in
+      ignore (int_field "steals" : int);
+      ignore (int_field "worker_busy_ns" : int);
+      (match min_tasks with
+      | Some m when tasks < m ->
+          fail "%s: expected at least %d pool tasks, saw %d" path m tasks
+      | _ -> ());
+      Printf.printf "%s: pool ok (jobs %d, %d tasks)\n" path jobs tasks
+
+(* `check_telemetry pool-eq A.json B.json`: everything the pool promises to
+   keep bit-identical across job counts must match — experiment list,
+   config, seed, every counter and gauge, solver-cache accounting, and
+   histogram counts.  Exempt by design: generated_at_unix, jobs, pool,
+   wall times (experiments_timed seconds, histogram value stats — the one
+   histogram measures solver latency in wall microseconds), and the
+   profile section's timer buckets. *)
+let check_pool_eq path_a path_b =
+  let load path =
+    match Obs.Json.parse (read_file path) with
+    | Error e -> fail "%s: not JSON: %s" path e
+    | Ok obj -> obj
+  in
+  let a = load path_a and b = load path_b in
+  let subtree obj path key =
+    match Obs.Json.member key obj with
+    | Some v -> v
+    | None -> fail "%s: missing %s section" path key
+  in
+  (* [experiments]/[config]/[seed] appear only in experiment manifests;
+     analyze manifests carry neither, which is fine as long as the two
+     files agree on what they carry. *)
+  let eq_subtree ~required key =
+    match (Obs.Json.member key a, Obs.Json.member key b) with
+    | None, None when not required -> ()
+    | Some va, Some vb ->
+        if Obs.Json.to_string va <> Obs.Json.to_string vb then
+          fail "pool-eq: %s differs between %s and %s:\n  %s\n  %s" key path_a
+            path_b
+            (Obs.Json.to_string va)
+            (Obs.Json.to_string vb)
+    | _ ->
+        fail "pool-eq: %s present in only one of %s and %s" key path_a path_b
+  in
+  List.iter
+    (eq_subtree ~required:false)
+    [ "experiments"; "config"; "seed" ];
+  eq_subtree ~required:true "solver_cache";
+  let metrics_a = subtree a path_a "metrics"
+  and metrics_b = subtree b path_b "metrics" in
+  List.iter
+    (fun key ->
+      let va = subtree metrics_a path_a key
+      and vb = subtree metrics_b path_b key in
+      if Obs.Json.to_string va <> Obs.Json.to_string vb then
+        fail "pool-eq: metrics.%s differs between %s and %s:\n  %s\n  %s" key
+          path_a path_b
+          (Obs.Json.to_string va)
+          (Obs.Json.to_string vb))
+    [ "counters"; "gauges" ];
+  (* Histogram values are wall times; only the sample counts are part of
+     the determinism contract. *)
+  let hist_counts m path =
+    match Obs.Json.member "histograms" m with
+    | Some (Obs.Json.Obj hs) ->
+        List.map
+          (fun (name, h) ->
+            match Obs.Json.member "count" h with
+            | Some (Obs.Json.Int n) -> (name, n)
+            | _ -> fail "%s: histogram %s without a count" path name)
+          hs
+    | _ -> fail "%s: metrics.histograms is not an object" path
+  in
+  let ha = hist_counts metrics_a path_a and hb = hist_counts metrics_b path_b in
+  if ha <> hb then
+    fail "pool-eq: histogram counts differ between %s and %s" path_a path_b;
+  Printf.printf "pool-eq: %s and %s agree on all deterministic sections\n"
+    path_a path_b
+
 let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> check_trace path
@@ -203,7 +313,15 @@ let () =
   | [| _; "collapsed"; path |] -> check_collapsed path
   | [| _; "profile"; path |] -> check_profile path None
   | [| _; "profile"; path; collapsed |] -> check_profile path (Some collapsed)
+  | [| _; "pool"; path |] -> check_pool path None
+  | [| _; "pool"; path; min_tasks |] -> (
+      match int_of_string_opt min_tasks with
+      | Some m when m >= 0 -> check_pool path (Some m)
+      | _ -> fail "pool: MIN_TASKS must be a non-negative integer")
+  | [| _; "pool-eq"; a; b |] -> check_pool_eq a b
   | _ ->
       fail
         "usage: check_telemetry {trace|metrics|cache|collapsed} FILE\n\
-        \       check_telemetry profile FILE.json [COLLAPSED]"
+        \       check_telemetry profile FILE.json [COLLAPSED]\n\
+        \       check_telemetry pool FILE.json [MIN_TASKS]\n\
+        \       check_telemetry pool-eq A.json B.json"
