@@ -107,6 +107,24 @@ let () =
     | "--no-solver-cache" :: rest ->
         Solver.Qcache.set_enabled false;
         parse rest
+    | "--fail-fast" :: rest ->
+        Util.Resilience.set_fail_fast true;
+        parse rest
+    | "--inject-faults" :: spec :: rest -> (
+        match String.split_on_char ':' spec with
+        | [ rate; seed ] -> (
+            match (float_of_string_opt rate, int_of_string_opt seed) with
+            | Some rate, Some seed when rate >= 0.0 && rate <= 1.0 ->
+                Util.Resilience.set_injection
+                  (Some (Util.Resilience.inject ~rate ~seed));
+                parse rest
+            | _ ->
+                Printf.eprintf "--inject-faults expects RATE:SEED, got %s\n"
+                  spec;
+                exit 2)
+        | _ ->
+            Printf.eprintf "--inject-faults expects RATE:SEED, got %s\n" spec;
+            exit 2)
     | ("-j" | "--jobs") :: n :: rest -> (
         match int_of_string_opt n with
         | Some k when k >= 1 ->
@@ -157,7 +175,7 @@ let () =
             (id, seconds, metrics))
           ids
     in
-    match !json_out with
+    (match !json_out with
     | None -> ()
     | Some path ->
         (* A directory target gets a date-stamped file so repeated campaigns
@@ -208,5 +226,15 @@ let () =
             ()
         in
         Castan.Manifest.write ~path manifest;
-        Printf.printf "wrote %s\n%!" path
+        Printf.printf "wrote %s\n%!" path);
+    (* Same contract as `castan experiment`: contained failures degrade the
+       run (after the results file is written) instead of hiding in the
+       transcript. *)
+    let failures = Util.Resilience.recorded () in
+    if failures <> [] then begin
+      Castan.Report.print_failure_summary failures;
+      Printf.printf "completed degraded: %d contained failure(s)\n%!"
+        (List.length failures);
+      exit 2
+    end
   end

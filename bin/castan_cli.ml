@@ -61,6 +61,31 @@ let set_jobs j =
   Util.Pool.set_default_jobs
     (if j <= 0 then Util.Pool.recommended_jobs () else j)
 
+let max_states_arg =
+  Arg.(value & opt int 0 & info [ "max-states" ] ~docv:"N"
+         ~doc:"Resource watchdog: cap the symbex pending-state queue at N \
+               states; the deepest states beyond the cap are killed \
+               (kill reason $(b,watchdog-states)) and the run is reported \
+               degraded (exit code 2) instead of exhausting memory.  0 \
+               (default) disables the cap.")
+
+let mem_budget_arg =
+  Arg.(value & opt int 0 & info [ "mem-budget-mb" ] ~docv:"MB"
+         ~doc:"Resource watchdog: when the major heap exceeds MB megabytes \
+               during exploration, kill the deeper half of the pending \
+               states ($(b,watchdog-memory)) and compact, rather than \
+               dying to the OOM killer.  0 (default) disables the budget.")
+
+(* A caught SIGINT/SIGTERM becomes a clean [exit], so the [at_exit]
+   telemetry/manifest/journal flushes run and a half-written run is
+   resumable.  Conventional 128+signo codes. *)
+let install_signal_handlers () =
+  let clean code _ = exit code in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (clean 130))
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle (clean 143))
+  with Invalid_argument _ | Sys_error _ -> ()
+
 (* Sinks are installed before the run; the manifest (which snapshots the
    metrics) is written and the trace sink closed from [at_exit], so the
    telemetry files are complete even on degraded (exit 2) runs. *)
@@ -122,7 +147,7 @@ let analyze_cmd =
                  outputs of the paper's §4).")
   in
   let run name output packets budget no_contention cache_model_file ktest
-      no_solver_cache jobs trace metrics log_level =
+      max_states mem_budget_mb no_solver_cache jobs trace metrics log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
     set_jobs jobs;
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
@@ -147,6 +172,8 @@ let analyze_cmd =
         (Castan.Analyze.default_config ~cache ()) with
         n_packets = packets;
         time_budget = budget;
+        max_states;
+        mem_budget_mb;
       }
     in
     let o =
@@ -175,17 +202,27 @@ let analyze_cmd =
         Testbed.Workload.save_pcap o.Castan.Analyze.workload path;
         Printf.printf "wrote %s\n" path
     | None -> ());
-    match ktest with
+    (match ktest with
     | Some prefix ->
         List.iter (Printf.printf "wrote %s\n") (Castan.Ktest.write ~prefix o)
-    | None -> ()
+    | None -> ());
+    (* Degraded, not failed: all artifacts above are written first.  The
+       watchdog never aborts an analysis — it prunes states and the run
+       completes — so the only signal left is the exit code. *)
+    let wd = Symbex.Driver.watchdog_kill_total () in
+    if wd > 0 then begin
+      Printf.printf
+        "completed degraded: resource watchdog killed %d state(s)\n%!" wd;
+      exit 2
+    end
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Synthesize an adversarial workload for an NF")
     Term.(
       const run $ nf_arg $ output $ packets $ budget $ no_contention
-      $ cache_model_file $ ktest $ no_solver_cache_arg $ jobs_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      $ cache_model_file $ ktest $ max_states_arg $ mem_budget_arg
+      $ no_solver_cache_arg $ jobs_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -297,18 +334,15 @@ let profile_cmd =
       (Obs.Profile.timers ());
     (match collapsed with
     | Some path ->
-        let oc = open_out path in
-        output_string oc (Castan.Profile_report.collapsed ~nf:name program);
-        close_out oc;
+        Util.Durable.write_string ~path
+          (Castan.Profile_report.collapsed ~nf:name program);
         Printf.printf "wrote %s\n" path
     | None -> ());
     match profile_json with
     | Some path ->
-        let oc = open_out path in
-        output_string oc
-          (Obs.Json.to_string (Castan.Profile_report.to_json ~nf:name program));
-        output_char oc '\n';
-        close_out oc;
+        Util.Durable.write_string ~path
+          (Obs.Json.to_string (Castan.Profile_report.to_json ~nf:name program)
+          ^ "\n");
         Printf.printf "wrote %s\n" path
     | None -> ()
   in
@@ -470,8 +504,28 @@ let experiment_cmd =
                  degradation paths.  RATE 0.0 is bit-identical to no \
                  injection.")
   in
-  let run id quick fail_fast inject no_solver_cache jobs trace metrics
-      log_level =
+  let journal =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Record every completed per-NF campaign cell in a crash-safe \
+                 journal at DIR (an fsynced append-only ledger plus one \
+                 atomically-written segment per cell), so a killed run can \
+                 be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Before running, hydrate the campaign memo from the journal \
+                 at $(b,--journal) DIR: cells recorded under the same \
+                 identity (git revision, config, seed, jobs, fault \
+                 injection) are reused and their campaigns are not re-run.")
+  in
+  let crash_after =
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"K"
+           ~doc:"Testing hook: die (uncleanly, bypassing failure \
+                 containment) at the K-th pipeline checkpoint reached — the \
+                 crash half of the journal's crash/resume contract.")
+  in
+  let run id quick fail_fast inject journal resume crash_after max_states
+      mem_budget_mb no_solver_cache jobs trace metrics log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
     set_jobs jobs;
     Util.Resilience.reset ();
@@ -480,6 +534,7 @@ let experiment_cmd =
       (Option.map
          (fun (rate, seed) -> Util.Resilience.inject ~rate ~seed)
          inject);
+    Util.Resilience.set_crash_point crash_after;
     if id = "list" then
       List.iter
         (fun (e : Castan.Harness.entry) ->
@@ -487,12 +542,37 @@ let experiment_cmd =
         Castan.Harness.all
     else begin
       let config =
-        if quick then Castan.Experiment.quick_config
-        else Castan.Experiment.default_config
+        {
+          (if quick then Castan.Experiment.quick_config
+           else Castan.Experiment.default_config)
+          with
+          max_states;
+          mem_budget_mb;
+        }
       in
       let ids = Castan.Harness.expand_id id in
+      (* The journal opens after the injector is installed (the injection
+         signature is part of the cell identity) and before any campaign
+         can run. *)
+      (match journal with
+      | Some dir -> (
+          match Castan.Journal.enable ~dir ~config ~resume with
+          | Ok () -> ()
+          | Error e ->
+              Printf.eprintf "castan: %s\n%!" e;
+              exit 1)
+      | None ->
+          if resume then begin
+            Printf.eprintf "castan: --resume requires --journal DIR\n%!";
+            exit 1
+          end);
       install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
-          Castan.Manifest.make ~ids ~config ());
+          Castan.Manifest.make ~ids ~config
+            ~extra:
+              (if Castan.Journal.active () then
+                 [ ("journal", Castan.Journal.stats_json ()) ]
+               else [])
+            ());
       (* Exit codes: 0 = clean, 2 = completed but degraded (failures were
          contained and summarized), 1 = fatal (fail-fast or unknown id). *)
       match
@@ -510,10 +590,14 @@ let experiment_cmd =
       with
       | () ->
           let failures = Util.Resilience.recorded () in
-          if failures <> [] then begin
-            Castan.Report.print_failure_summary failures;
-            Printf.printf "completed degraded: %d contained failure(s)\n%!"
-              (List.length failures);
+          let wd = Symbex.Driver.watchdog_kill_total () in
+          if failures <> [] || wd > 0 then begin
+            if failures <> [] then
+              Castan.Report.print_failure_summary failures;
+            Printf.printf
+              "completed degraded: %d contained failure(s), %d watchdog \
+               kill(s)\n%!"
+              (List.length failures) wd;
             exit 2
           end
       | exception e ->
@@ -527,10 +611,12 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables, figures or ablations")
     Term.(
-      const run $ id $ quick $ fail_fast $ inject $ no_solver_cache_arg
+      const run $ id $ quick $ fail_fast $ inject $ journal $ resume
+      $ crash_after $ max_states_arg $ mem_budget_arg $ no_solver_cache_arg
       $ jobs_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 let () =
+  install_signal_handlers ();
   let doc = "CASTAN: automated synthesis of adversarial workloads for NFs" in
   let info = Cmd.info "castan" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

@@ -12,6 +12,8 @@ type config = {
   instr_budget : int;
   max_states_tried : int;
   seed : int;
+  max_states : int;
+  mem_budget_mb : int;
 }
 
 let default_config ?(cache = Baseline) () =
@@ -24,6 +26,8 @@ let default_config ?(cache = Baseline) () =
     instr_budget = 5_000_000;
     max_states_tried = 16;
     seed = 7;
+    max_states = 0;
+    mem_budget_mb = 0;
   }
 
 type outcome = {
@@ -218,6 +222,8 @@ let run ?config (nf : Nf.Nf_def.t) =
             hash_bits = nf.Nf.Nf_def.hash_bits;
             time_budget = cfg.time_budget;
             instr_budget = cfg.instr_budget;
+            max_states = cfg.max_states;
+            mem_budget_mb = cfg.mem_budget_mb;
           }
         in
         (driver_cfg, Nf.Nf_def.fresh_symbolic_memory nf, cache_model cfg.cache))

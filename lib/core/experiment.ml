@@ -14,6 +14,8 @@ type config = {
   analysis_instrs : int;
   use_contention_model : bool;
   seed : int;
+  max_states : int;
+  mem_budget_mb : int;
 }
 
 let default_config =
@@ -24,6 +26,8 @@ let default_config =
     analysis_instrs = 3_000_000;
     use_contention_model = true;
     seed = 42;
+    max_states = 0;
+    mem_budget_mb = 0;
   }
 
 let quick_config =
@@ -34,6 +38,8 @@ let quick_config =
     analysis_instrs = 800_000;
     use_contention_model = true;
     seed = 42;
+    max_states = 0;
+    mem_budget_mb = 0;
   }
 
 (* The memo table is shared across pool workers (Harness prewarms campaigns
@@ -45,12 +51,46 @@ let cache_mu = Mutex.create ()
 let cache : (string, (nf_run, Util.Resilience.failure) result) Hashtbl.t =
   Hashtbl.create 16
 
-let clear_cache () = Mutex.protect cache_mu (fun () -> Hashtbl.reset cache)
+(* Keys seeded from a journal (guarded by [cache_mu]); an entry leaves the
+   set on its first reuse so each resumed cell is counted once. *)
+let hydrated : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () =
+  Mutex.protect cache_mu (fun () ->
+      Hashtbl.reset cache;
+      Hashtbl.reset hydrated)
 
 let cache_key name (c : config) =
-  Printf.sprintf "%s/%s/%d/%b" name
+  Printf.sprintf "%s/%s/%d/%b/%d/%d" name
     (match c.scale with `Quick -> "q" | `Default -> "d" | `Paper -> "p")
-    c.samples c.use_contention_model
+    c.samples c.use_contention_model c.max_states c.mem_budget_mb
+
+(* Journal integration.  The journal module (which depends on this one)
+   installs observers instead of this module calling it directly:
+   [on_fresh] fires once per key actually computed in this process, with
+   the canonical memoized value; [on_reuse] fires the first time a
+   journal-hydrated entry satisfies a lookup.  Hooks are called outside
+   the cache mutex — the journal takes its own lock. *)
+let on_fresh :
+    (key:string -> nf:string -> (nf_run, Util.Resilience.failure) result -> unit)
+    option
+    ref =
+  ref None
+
+let set_on_fresh f = on_fresh := f
+
+let on_reuse : (key:string -> unit) option ref = ref None
+let set_on_reuse f = on_reuse := f
+
+let seed_cache entries =
+  Mutex.protect cache_mu (fun () ->
+      List.iter
+        (fun (key, r) ->
+          if not (Hashtbl.mem cache key) then begin
+            Hashtbl.replace cache key r;
+            Hashtbl.replace hydrated key ()
+          end)
+        entries)
 
 (* One NF campaign, split into guarded stages so a failure names where the
    pipeline died.  The [checkpoint] calls are the fault-injection points:
@@ -78,6 +118,8 @@ let campaign name config =
             time_budget = config.analysis_time;
             instr_budget = config.analysis_instrs;
             seed = config.seed;
+            max_states = config.max_states;
+            mem_budget_mb = config.mem_budget_mb;
           }
         in
         (nf, Analyze.run ~config:analysis_cfg nf))
@@ -122,16 +164,35 @@ let campaign name config =
 
 let try_run ?(config = default_config) name =
   let key = cache_key name config in
-  match Mutex.protect cache_mu (fun () -> Hashtbl.find_opt cache key) with
-  | Some r -> r
+  let lookup () =
+    Mutex.protect cache_mu (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some r ->
+            let reused = Hashtbl.mem hydrated key in
+            if reused then Hashtbl.remove hydrated key;
+            Some (r, reused)
+        | None -> None)
+  in
+  match lookup () with
+  | Some (r, reused) ->
+      if reused then
+        (match !on_reuse with Some f -> f ~key | None -> ());
+      r
   | None -> (
       let r = campaign name config in
-      Mutex.protect cache_mu (fun () ->
-          match Hashtbl.find_opt cache key with
-          | Some canonical -> canonical
-          | None ->
-              Hashtbl.replace cache key r;
-              r))
+      let canonical, inserted =
+        Mutex.protect cache_mu (fun () ->
+            match Hashtbl.find_opt cache key with
+            | Some canonical -> (canonical, false)
+            | None ->
+                Hashtbl.replace cache key r;
+                (r, true))
+      in
+      (* Only the insertion winner journals the cell: a racing loser holds
+         an identical value, and one ledger record per key is enough. *)
+      if inserted then
+        (match !on_fresh with Some f -> f ~key ~nf:name canonical | None -> ());
+      canonical)
 
 let run ?(config = default_config) name =
   match try_run ~config name with

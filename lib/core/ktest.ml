@@ -50,9 +50,7 @@ let metrics_string (o : Analyze.outcome) =
 
 let write ~prefix o =
   let write_file path contents =
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-        output_string oc contents);
+    Util.Durable.write_string ~path contents;
     path
   in
   [

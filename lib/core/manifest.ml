@@ -20,6 +20,8 @@ let config_json (c : Experiment.config) =
       ("analysis_instrs", Obs.Json.Int c.Experiment.analysis_instrs);
       ("use_contention_model", Obs.Json.Bool c.Experiment.use_contention_model);
       ("seed", Obs.Json.Int c.Experiment.seed);
+      ("max_states", Obs.Json.Int c.Experiment.max_states);
+      ("mem_budget_mb", Obs.Json.Int c.Experiment.mem_budget_mb);
     ]
 
 (* Cache effectiveness at a glance: how many feasibility queries the solver
@@ -88,7 +90,4 @@ let make ?ids ?config ?(extra = []) () =
     else [])
 
 let write ~path json =
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc
+  Util.Durable.write_string ~path (Obs.Json.to_string json ^ "\n")

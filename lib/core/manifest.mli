@@ -31,4 +31,6 @@ val make :
     counts. *)
 
 val write : path:string -> Obs.Json.t -> unit
-(** Writes the manifest followed by a newline. *)
+(** Writes the manifest followed by a newline, atomically: the bytes land
+    in [path ^ ".tmp"] and are fsynced before renaming over [path], so a
+    crash never leaves a torn manifest ({!Util.Durable}). *)

@@ -6,7 +6,11 @@ type t =
   | Summary of { spans : (string, agg) Hashtbl.t; mutable closed : bool }
 
 let null = Null
-let file path = File { path; oc = open_out path; closed = false }
+
+(* The stream goes to [path ^ ".tmp"] and only renames into place on a
+   clean close: a crashed run leaves the previous trace file (if any)
+   intact instead of a torn half-stream. *)
+let file path = File { path; oc = open_out (path ^ ".tmp"); closed = false }
 let stderr_summary () = Summary { spans = Hashtbl.create 16; closed = false }
 let active = function Null -> false | File _ | Summary _ -> true
 
@@ -37,7 +41,11 @@ let close = function
   | File f ->
       if not f.closed then begin
         f.closed <- true;
-        close_out f.oc
+        flush f.oc;
+        (try Unix.fsync (Unix.descr_of_out_channel f.oc)
+         with Unix.Unix_error _ -> ());
+        close_out f.oc;
+        Sys.rename (f.path ^ ".tmp") f.path
       end
   | Summary s ->
       if not s.closed then begin

@@ -15,7 +15,8 @@ type t
 val null : t
 
 val file : string -> t
-(** Opens (truncates) [path] for line-oriented output.
+(** Opens [path ^ ".tmp"] for line-oriented output; {!close} fsyncs and
+    renames it over [path], so [path] only ever holds a complete stream.
     @raise Sys_error when the path cannot be opened. *)
 
 val stderr_summary : unit -> t

@@ -8,6 +8,8 @@ type config = {
   instr_budget : int;
   time_budget : float;
   max_completed : int;
+  max_states : int;
+  mem_budget_mb : int;
 }
 
 let default_config ?(n_packets = 30) costs =
@@ -21,6 +23,8 @@ let default_config ?(n_packets = 30) costs =
     instr_budget = 5_000_000;
     time_budget = 30.0;
     max_completed = 32;
+    max_states = 0;
+    mem_budget_mb = 0;
   }
 
 type stats = {
@@ -31,6 +35,7 @@ type stats = {
   executed_instrs : int;
   wall_time : float;
   degraded : bool;
+  watchdog_kills : int;
 }
 
 type result = {
@@ -66,6 +71,14 @@ let record_run_metrics stats ~completed =
         Obs.Metrics.incr ~by:n (Obs.Metrics.counter ("symbex.kills." ^ label)))
       stats.kill_reasons
   end
+
+(* Process-lifetime watchdog accounting, summed across analyses (and pool
+   worker domains — hence atomic).  The CLI reads it to pick exit code 2
+   when any exploration had to degrade under a resource budget; it is an
+   exit-code signal only, never part of the deterministic output. *)
+let watchdog_total = Atomic.make 0
+let watchdog_kill_total () = Atomic.get watchdog_total
+let reset_watchdog_total () = Atomic.set watchdog_total 0
 
 let run program ~mem ~cache config =
   (* A fresh query cache per exploration: results must never depend on what
@@ -109,6 +122,30 @@ let run program ~mem ~cache config =
         && (deadline_hit := true;
             true))
   in
+  (* Resource watchdog (max_states / mem_budget_mb).  Both budgets degrade
+     the exploration instead of letting the OOM killer abort the process:
+     excess pending states are killed deepest-first — depth ordered by
+     (packet index, raw steps into the packet, state id), the later-forked
+     state dying first on ties — under a structured [watchdog-*] kill
+     reason, and survivors re-enter the searcher in their original queue
+     order.  The heap budget is polled in-slice at the deadline's
+     1024-instruction cadence ([Gc.quick_stat] reads the major-heap size
+     without walking it); a trip ends the slice so the prune runs between
+     slices, where the only live states are the pending ones. *)
+  let watchdog = ref 0 in
+  let mem_budget_words =
+    if config.mem_budget_mb <= 0 then 0
+    else config.mem_budget_mb * 1024 * 1024 / (Sys.word_size / 8)
+  in
+  let mem_tripped = ref false in
+  let over_mem_budget () =
+    !mem_tripped
+    || (mem_budget_words > 0
+        && !executed land 1023 = 0
+        && (Gc.quick_stat ()).Gc.heap_words > mem_budget_words
+        && (mem_tripped := true;
+            true))
+  in
   let out_of_budget () =
     !executed >= config.instr_budget
     || !deadline_hit
@@ -119,7 +156,8 @@ let run program ~mem ~cache config =
      or dies; loop-head forks continue greedily on the "one more iteration"
      side (§3.4). *)
   let rec advance s slice =
-    if slice = 0 || over_deadline () then Searcher.add searcher s
+    if slice = 0 || over_deadline () || over_mem_budget () then
+      Searcher.add searcher s
     else
       match Exec.step exec_cfg s with
       | Exec.Running s' ->
@@ -148,6 +186,46 @@ let run program ~mem ~cache config =
           incr executed;
           count_kill reason
   in
+  let depth_key (s : State.t) = (s.State.pkt, s.State.steps, s.State.id) in
+  let kill_deepest ~keep ~label =
+    let pending = Searcher.drain searcher in
+    let n = List.length pending in
+    if n <= keep then List.iter (Searcher.add searcher) pending
+    else begin
+      let doomed = Hashtbl.create 16 in
+      List.stable_sort (fun a b -> compare (depth_key b) (depth_key a)) pending
+      |> List.iteri (fun i s ->
+             if i < n - keep then Hashtbl.replace doomed s.State.id ());
+      List.iter
+        (fun (s : State.t) ->
+          if Hashtbl.mem doomed s.State.id then begin
+            incr killed;
+            incr watchdog;
+            let cur =
+              match Hashtbl.find_opt kill_counts label with
+              | Some n -> n
+              | None -> 0
+            in
+            Hashtbl.replace kill_counts label (cur + 1)
+          end
+          else Searcher.add searcher s)
+        pending
+    end
+  in
+  let watchdog_check () =
+    if config.max_states > 0 && Searcher.size searcher > config.max_states then
+      kill_deepest ~keep:config.max_states ~label:"watchdog-states";
+    if !mem_tripped then begin
+      (* Keep the shallow half (at least one state so exploration can
+         still make progress), then actually return the freed memory —
+         re-tripping next slice prunes further if that was not enough. *)
+      mem_tripped := false;
+      kill_deepest
+        ~keep:(max 1 (Searcher.size searcher / 2))
+        ~label:"watchdog-memory";
+      Gc.full_major ()
+    end
+  in
   let initial = State.initial program ~cache ~n_packets:config.n_packets ~mem in
   Searcher.add searcher initial;
   let slice = 20_000 in
@@ -174,6 +252,7 @@ let run program ~mem ~cache config =
             ignore (Obs.Trace.exit sp : float)
           end
           else advance s slice;
+          watchdog_check ();
           loop ()
   in
   loop ();
@@ -199,12 +278,15 @@ let run program ~mem ~cache config =
         |> List.sort compare;
       executed_instrs = !executed;
       wall_time = Unix.gettimeofday () -. start;
-      (* Degraded: the budget truncated exploration with work pending, or
-         any state died of a fault (as opposed to normal exploration
-         outcomes). *)
-      degraded = (budget_stop && pending <> []) || !fault_kill;
+      (* Degraded: the budget truncated exploration with work pending, any
+         state died of a fault (as opposed to normal exploration
+         outcomes), or the resource watchdog had to prune. *)
+      degraded = (budget_stop && pending <> []) || !fault_kill || !watchdog > 0;
+      watchdog_kills = !watchdog;
     }
   in
+  if !watchdog > 0 then
+    ignore (Atomic.fetch_and_add watchdog_total !watchdog : int);
   record_run_metrics stats ~completed:!n_completed;
   if Obs.Profile.enabled () then
     Obs.Profile.add_timer "symbex" stats.wall_time;

@@ -17,10 +17,21 @@ type config = {
   instr_budget : int;  (** total executed instructions across all states *)
   time_budget : float;  (** seconds of wall time *)
   max_completed : int;  (** stop after this many full-length paths *)
+  max_states : int;
+      (** watchdog: pending-state budget, 0 = unlimited.  When the queue
+          exceeds it, the deepest pending states are killed (reason
+          ["watchdog-states"]) until it fits. *)
+  mem_budget_mb : int;
+      (** watchdog: major-heap budget in MB, 0 = unlimited.  Polled
+          in-slice at the deadline cadence via [Gc.quick_stat]; a trip
+          kills the deeper half of the pending queue (reason
+          ["watchdog-memory"]) and compacts, instead of letting the OS OOM
+          killer abort the process. *)
 }
 
 val default_config : ?n_packets:int -> Costs.t -> config
-(** 30 packets, castan searcher, M = 2, 5M total instructions, 30s. *)
+(** 30 packets, castan searcher, M = 2, 5M total instructions, 30s, both
+    watchdog budgets off. *)
 
 type stats = {
   explored : int;  (** states whose execution advanced at least once *)
@@ -31,8 +42,14 @@ type stats = {
   executed_instrs : int;
   wall_time : float;
   degraded : bool;
-      (** the run was budget-truncated with states still pending, or at
-          least one state died of a fault ({!Exec.reason_is_fault}) *)
+      (** the run was budget-truncated with states still pending, at least
+          one state died of a fault ({!Exec.reason_is_fault}), or the
+          resource watchdog pruned states *)
+  watchdog_kills : int;
+      (** states killed by the resource watchdog (the ["watchdog-states"]
+          and ["watchdog-memory"] entries of [kill_reasons]).  The kill set
+          is deterministic in the budgets: deepest pending states first,
+          depth ordered by (packet, steps, state id). *)
 }
 
 type result = {
@@ -51,3 +68,10 @@ val run :
     exhaustion, out-of-bounds pointers, undefined variables) kill the
     offending state — accounted in [stats.kill_reasons] — rather than
     raising out of the driver. *)
+
+val watchdog_kill_total : unit -> int
+(** Process-lifetime watchdog kills summed across analyses (atomic — pool
+    workers included).  The CLI maps a nonzero total to exit code 2:
+    budget exhaustion degrades, it never aborts. *)
+
+val reset_watchdog_total : unit -> unit

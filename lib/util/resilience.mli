@@ -43,6 +43,11 @@ val by_stage : failure list -> (string * int) list
 exception Injected of failure
 (** Raised by {!checkpoint} when the ambient fault injector fires. *)
 
+exception Crashed of failure
+(** Raised by {!checkpoint} when an armed crash point (see
+    {!set_crash_point}) is reached.  Models the process dying at that
+    site: {!guard} never contains it, regardless of fail-fast. *)
+
 (* ------------------------------------------------------------------ *)
 (* Guards                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -112,10 +117,32 @@ val set_injection : injector option -> unit
 
 val injection_active : unit -> bool
 
+val injection_signature : unit -> string
+(** ["none"] without an ambient injector, else ["<rate>:<seed>"].  Part of
+    the journal's run identity: cells produced under fault injection must
+    not be reused by (or leak into) clean runs. *)
+
 val checkpoint : ?nf:string -> stage:string -> unit -> unit
 (** Marks the entry of a guarded stage.  No-op unless an ambient injector
     is installed and fires, in which case {!Injected} is raised (and
-    subsequently converted to [Error] by the enclosing {!guard}). *)
+    subsequently converted to [Error] by the enclosing {!guard}) — or an
+    armed crash point is reached, which raises {!Crashed} instead. *)
+
+(* ------------------------------------------------------------------ *)
+(* Crash points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+val set_crash_point : int option -> unit
+(** [set_crash_point (Some k)] arms a deterministic crash at the [k]-th
+    (1-based) {!checkpoint} site reached from now on; the site raises
+    {!Crashed}, which propagates through every guard — the crash-safety
+    tests (and the CLI's [--crash-after]) use this to prove that dying at
+    any checkpoint and resuming from the journal reproduces an
+    uninterrupted run.  [None] disarms.  Arming resets the site counter. *)
+
+val crash_points_seen : unit -> int
+(** Checkpoint sites passed since the last {!set_crash_point} — lets a test
+    first count a run's sites, then quickcheck a crash at each. *)
 
 (* ------------------------------------------------------------------ *)
 (* Fail-fast and the failure sink                                      *)

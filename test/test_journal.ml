@@ -1,0 +1,351 @@
+(* Tests for the crash-safe run journal: the crash-at-any-checkpoint resume
+   contract, hydration of failed cells, identity-mismatch rejection, the
+   resource watchdog's determinism, and the durable-write primitive.
+
+   Every config here pins the symbolic-execution budget by *instructions*
+   (a huge [analysis_time], a small [analysis_instrs]): wall-clock
+   truncation is load-dependent, so only instruction-bound runs produce
+   fingerprints that are a pure function of the config — which is exactly
+   what the crash/resume contract needs. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Distinct [samples] values keep these cells' cache keys from colliding
+   with any other test file's (the memo key includes samples). *)
+let base_config =
+  {
+    Castan.Experiment.quick_config with
+    samples = 402;
+    analysis_time = 1e6;
+    analysis_instrs = 20_000;
+    use_contention_model = false;
+  }
+
+let nfs = [ "lpm-1stage-dl"; "lb-hash-ring" ]
+
+(* ---------------- scratch dirs and ledger reading ---------------- *)
+
+let fresh_dir () =
+  let path = Filename.temp_file "castan-journal" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* key -> (status, fingerprint), last record wins; all cells in these tests
+   share one identity, so no session filtering is needed. *)
+let ledger_cells dir =
+  let ic = open_in (Filename.concat dir "ledger.jsonl") in
+  let cells = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       match Obs.Json.parse line with
+       | Error _ -> ()
+       | Ok j -> (
+           let str k =
+             match Obs.Json.member k j with
+             | Some (Obs.Json.Str s) -> Some s
+             | _ -> None
+           in
+           match (str "kind", str "key", str "status", str "fingerprint")
+           with
+           | Some "cell", Some key, Some status, Some fp ->
+               Hashtbl.replace cells key (status, fp)
+           | _ -> ())
+     done
+   with End_of_file -> close_in ic);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) cells [] |> List.sort compare
+
+let teardown () =
+  Castan.Journal.disable ();
+  Castan.Experiment.clear_cache ();
+  Util.Resilience.set_crash_point None;
+  Util.Resilience.set_injection None;
+  Util.Resilience.reset ()
+
+let enable_exn ~dir ~config ~resume =
+  match Castan.Journal.enable ~dir ~config ~resume with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("journal enable: " ^ e)
+
+(* One uninterrupted journaled campaign over [nfs] into a fresh dir;
+   returns the dir and the cell map. *)
+let baseline_run config =
+  let dir = fresh_dir () in
+  Castan.Experiment.clear_cache ();
+  enable_exn ~dir ~config ~resume:false;
+  List.iter
+    (fun n -> ignore (Castan.Experiment.try_run ~config n))
+    nfs;
+  Castan.Journal.disable ();
+  Castan.Experiment.clear_cache ();
+  (dir, ledger_cells dir)
+
+(* ---------------- crash at any checkpoint + resume ---------------- *)
+
+let crash_resume_equivalence () =
+  teardown ();
+  let dir_base, base_cells = baseline_run base_config in
+  Alcotest.(check int) "baseline journals every cell" (List.length nfs)
+    (List.length base_cells);
+  (* count the checkpoint sites an uninterrupted run passes *)
+  Util.Resilience.set_crash_point None;
+  Castan.Experiment.clear_cache ();
+  List.iter
+    (fun n -> ignore (Castan.Experiment.try_run ~config:base_config n))
+    nfs;
+  let sites = Util.Resilience.crash_points_seen () in
+  Castan.Experiment.clear_cache ();
+  Alcotest.(check bool)
+    (Printf.sprintf "campaigns pass checkpoints (saw %d)" sites)
+    true (sites >= 2);
+  let prop k =
+    let dir = fresh_dir () in
+    (* the dying session: journal on, crash armed at site k *)
+    enable_exn ~dir ~config:base_config ~resume:false;
+    Util.Resilience.set_crash_point (Some k);
+    (try
+       List.iter
+         (fun n -> ignore (Castan.Experiment.try_run ~config:base_config n))
+         nfs
+     with Util.Resilience.Crashed _ -> ());
+    (* the process dies: memo gone, crash point gone, ledger survives *)
+    Castan.Journal.disable ();
+    Castan.Experiment.clear_cache ();
+    Util.Resilience.set_crash_point None;
+    (* the resumed session completes the campaign *)
+    enable_exn ~dir ~config:base_config ~resume:true;
+    List.iter
+      (fun n -> ignore (Castan.Experiment.try_run ~config:base_config n))
+      nfs;
+    Castan.Journal.disable ();
+    Castan.Experiment.clear_cache ();
+    let cells = ledger_cells dir in
+    let ok = cells = base_cells in
+    if not ok then
+      QCheck.Test.fail_reportf
+        "crash at checkpoint %d diverged:@.resumed %s@.baseline %s" k
+        (String.concat ";"
+           (List.map (fun (k, (_, fp)) -> k ^ "=" ^ fp) cells))
+        (String.concat ";"
+           (List.map (fun (k, (_, fp)) -> k ^ "=" ^ fp) base_cells));
+    rm_rf dir;
+    ok
+  in
+  let t =
+    QCheck.Test.make ~count:4
+      ~name:"crash at any checkpoint + resume = uninterrupted"
+      (QCheck.int_range 1 sites) prop
+  in
+  (* the extremes are the interesting edges: always cover them *)
+  Alcotest.(check bool) "crash at first checkpoint" true (prop 1);
+  Alcotest.(check bool) "crash at last checkpoint" true (prop sites);
+  QCheck.Test.check_exn t;
+  rm_rf dir_base;
+  teardown ()
+
+(* ---------------- resume re-runs zero completed cells ---------------- *)
+
+let resume_reruns_nothing () =
+  teardown ();
+  let dir, base_cells = baseline_run base_config in
+  enable_exn ~dir ~config:base_config ~resume:true;
+  let s = Castan.Journal.stats () in
+  Alcotest.(check int) "every cell hydrated" (List.length nfs)
+    s.Castan.Journal.hydrated;
+  List.iter
+    (fun n -> ignore (Castan.Experiment.try_run ~config:base_config n))
+    nfs;
+  let s = Castan.Journal.stats () in
+  Alcotest.(check int) "zero cells recomputed" 0 s.Castan.Journal.cells_written;
+  Alcotest.(check int) "every lookup served from the journal"
+    (List.length nfs) s.Castan.Journal.cells_reused;
+  Alcotest.(check int) "one prior session" 1 s.Castan.Journal.resumes;
+  Castan.Journal.disable ();
+  Castan.Experiment.clear_cache ();
+  Alcotest.(check bool) "ledger unchanged" true (ledger_cells dir = base_cells);
+  rm_rf dir;
+  teardown ()
+
+(* ---------------- failed cells hydrate as failures ---------------- *)
+
+let failed_cell_hydration () =
+  teardown ();
+  let dir = fresh_dir () in
+  let nf = List.hd nfs in
+  (* rate 1.0: the first guarded stage fails, and the cell is journaled as
+     failed:<stage>.  The injector stays installed across the resume — the
+     injection signature is part of the identity. *)
+  Util.Resilience.set_injection
+    (Some (Util.Resilience.inject ~rate:1.0 ~seed:7));
+  Castan.Experiment.clear_cache ();
+  enable_exn ~dir ~config:base_config ~resume:false;
+  let first = Castan.Experiment.try_run ~config:base_config nf in
+  let stage =
+    match first with
+    | Ok _ -> Alcotest.fail "rate 1.0 must fail the campaign"
+    | Error f -> f.Util.Resilience.stage
+  in
+  (match ledger_cells dir with
+  | [ (_, (status, _)) ] ->
+      Alcotest.(check string) "journaled as failed:<stage>"
+        ("failed:" ^ stage) status
+  | cells ->
+      Alcotest.fail
+        (Printf.sprintf "expected one cell, ledger has %d"
+           (List.length cells)));
+  Castan.Journal.disable ();
+  Castan.Experiment.clear_cache ();
+  Util.Resilience.reset ();
+  (* resumed session: the failure is reused, nothing re-runs (a re-run
+     would hit the rate-1.0 injector and leave a fresh record in the
+     failure sink) *)
+  enable_exn ~dir ~config:base_config ~resume:true;
+  let again = Castan.Experiment.try_run ~config:base_config nf in
+  (match again with
+  | Ok _ -> Alcotest.fail "hydrated cell must still be the failure"
+  | Error f -> Alcotest.(check string) "same stage" stage f.Util.Resilience.stage);
+  Alcotest.(check int) "nothing re-ran" 0
+    (List.length (Util.Resilience.recorded ()));
+  let s = Castan.Journal.stats () in
+  Alcotest.(check int) "failure reused from the journal" 1
+    s.Castan.Journal.cells_reused;
+  rm_rf dir;
+  teardown ()
+
+(* ---------------- identity mismatches are stale, not reused ------------ *)
+
+let identity_mismatch_rejected () =
+  teardown ();
+  let dir, _ = baseline_run base_config in
+  (* a different seed changes both the identity's seed field and the config
+     digest: nothing hydrates, everything counts as stale *)
+  let other = { base_config with seed = 43 } in
+  enable_exn ~dir ~config:other ~resume:true;
+  let s = Castan.Journal.stats () in
+  Alcotest.(check int) "foreign cells do not hydrate" 0
+    s.Castan.Journal.hydrated;
+  Alcotest.(check int) "foreign cells are stale" (List.length nfs)
+    s.Castan.Journal.stale;
+  Castan.Journal.disable ();
+  Castan.Experiment.clear_cache ();
+  (* fault injection is part of the identity too: clean cells must not
+     leak into an injected run *)
+  Util.Resilience.set_injection
+    (Some (Util.Resilience.inject ~rate:0.5 ~seed:9));
+  enable_exn ~dir ~config:base_config ~resume:true;
+  let s = Castan.Journal.stats () in
+  Alcotest.(check int) "clean cells invisible under injection" 0
+    s.Castan.Journal.hydrated;
+  rm_rf dir;
+  teardown ()
+
+(* ---------------- serialization round-trip ---------------- *)
+
+let encode_decode_roundtrip () =
+  teardown ();
+  Castan.Experiment.clear_cache ();
+  let run =
+    match Castan.Experiment.try_run ~config:base_config (List.hd nfs) with
+    | Ok r -> r
+    | Error f -> Alcotest.fail (Util.Resilience.to_string f)
+  in
+  Castan.Experiment.clear_cache ();
+  let j = Castan.Journal.encode_run ~deterministic:false run in
+  (match Obs.Json.parse (Obs.Json.to_string j) with
+  | Error e -> Alcotest.fail ("re-parse: " ^ e)
+  | Ok j' -> (
+      match Castan.Journal.decode_run j' with
+      | Error e -> Alcotest.fail ("decode: " ^ e)
+      | Ok run' ->
+          Alcotest.(check string) "round-trip preserves the fingerprint"
+            (Castan.Journal.fingerprint (Ok run))
+            (Castan.Journal.fingerprint (Ok run'))));
+  (* strictness: an unknown NF is a decode error, not an exception *)
+  (match Castan.Journal.decode_run (Obs.Json.Obj [ ("nf", Obs.Json.Str "no-such-nf") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown NF must not decode");
+  teardown ()
+
+(* ---------------- watchdog determinism ---------------- *)
+
+let watchdog_deterministic () =
+  teardown ();
+  Symbex.Driver.reset_watchdog_total ();
+  let config = { base_config with samples = 403; max_states = 4 } in
+  let saved_jobs = Util.Pool.default_jobs () in
+  let run_at jobs =
+    Util.Pool.set_default_jobs jobs;
+    Castan.Experiment.clear_cache ();
+    let r =
+      match Castan.Experiment.try_run ~config "lb-hash-ring" with
+      | Ok r -> r
+      | Error f -> Alcotest.fail (Util.Resilience.to_string f)
+    in
+    Castan.Experiment.clear_cache ();
+    r
+  in
+  let r1 = run_at 1 in
+  let r4 = run_at 4 in
+  Util.Pool.set_default_jobs saved_jobs;
+  let stats (r : Castan.Experiment.nf_run) =
+    r.Castan.Experiment.castan.Castan.Analyze.stats
+  in
+  Alcotest.(check bool) "the 4-state budget trips the watchdog" true
+    ((stats r1).Symbex.Driver.watchdog_kills > 0);
+  Alcotest.(check int) "same kill count at -j 1 and -j 4"
+    (stats r1).Symbex.Driver.watchdog_kills
+    (stats r4).Symbex.Driver.watchdog_kills;
+  Alcotest.(check (list (pair string int))) "same kill reasons"
+    (stats r1).Symbex.Driver.kill_reasons
+    (stats r4).Symbex.Driver.kill_reasons;
+  Alcotest.(check bool) "watchdog kills degrade the run" true
+    (stats r1).Symbex.Driver.degraded;
+  Alcotest.(check bool) "kills are accounted as watchdog-states" true
+    (List.mem_assoc "watchdog-states" (stats r1).Symbex.Driver.kill_reasons);
+  Alcotest.(check string) "identical fingerprints regardless of -j"
+    (Castan.Journal.fingerprint (Ok r1))
+    (Castan.Journal.fingerprint (Ok r4));
+  Alcotest.(check bool) "process-level kill total advanced" true
+    (Symbex.Driver.watchdog_kill_total () > 0);
+  Symbex.Driver.reset_watchdog_total ();
+  teardown ()
+
+(* ---------------- durable writes ---------------- *)
+
+let durable_write_basics () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "artifact.txt" in
+  Util.Durable.write_string ~path "first\n";
+  Util.Durable.write_string ~path "second\n";
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "rename replaces atomically" "second\n" content;
+  Alcotest.(check (list string)) "no temp files left behind"
+    [ "artifact.txt" ]
+    (Array.to_list (Sys.readdir dir) |> List.sort compare);
+  rm_rf dir
+
+let tests =
+  [
+    Alcotest.test_case "durable write basics" `Quick durable_write_basics;
+    Alcotest.test_case "encode/decode round-trip" `Quick
+      encode_decode_roundtrip;
+    Alcotest.test_case "resume re-runs nothing" `Quick resume_reruns_nothing;
+    Alcotest.test_case "failed cells hydrate" `Quick failed_cell_hydration;
+    Alcotest.test_case "identity mismatch rejected" `Quick
+      identity_mismatch_rejected;
+    Alcotest.test_case "watchdog determinism (-j 1 = -j 4)" `Slow
+      watchdog_deterministic;
+    Alcotest.test_case "crash/resume equivalence" `Slow
+      crash_resume_equivalence;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("testbed", Test_testbed.tests);
       ("core", Test_core.tests);
       ("resilience", Test_resilience.tests);
+      ("journal", Test_journal.tests);
       ("obs", Test_obs.tests);
       ("profile", Test_profile.tests);
     ]
