@@ -203,11 +203,20 @@ let () =
           end
           else path
         in
+        (* Schema 3: every per-experiment entry carries the full run
+           identity (git, config digest, seed, jobs, injection signature),
+           not just the top-level manifest — lab-ledger ingestion must
+           never have to guess an entry's provenance, even if entries are
+           ever spliced across files. *)
+        let identity_json =
+          Castan.Manifest.identity_json
+            (Castan.Manifest.current_identity ~config:!experiment_config ())
+        in
         let manifest =
           Castan.Manifest.make ~ids ~config:!experiment_config
             ~extra:
               [
-                ("schema_version", Obs.Json.Int 2);
+                ("schema_version", Obs.Json.Int 3);
                 ( "experiments_timed",
                   Obs.Json.List
                     (List.map
@@ -216,6 +225,7 @@ let () =
                            ([
                               ("id", Obs.Json.Str id);
                               ("seconds", Obs.Json.Float seconds);
+                              ("identity", identity_json);
                             ]
                            @
                            match metrics with

@@ -5,7 +5,8 @@
      castan analyze <nf> -o out.pcap  -- synthesize an adversarial workload
      castan probe-cache               -- reverse-engineer contention sets
      castan replay <nf> <pcap>        -- measure a workload on the testbed
-     castan experiment <id>           -- regenerate a table/figure *)
+     castan experiment <id>           -- regenerate a table/figure
+     castan lab <ingest|report|diff>  -- run ledger + regression triage *)
 
 open Cmdliner
 
@@ -467,6 +468,192 @@ let dump_cmd =
        ~doc:"Print an NF's NFIR listing (with --costs, its §3.4 annotation)")
     Term.(const run $ nf_arg $ costs_flag)
 
+(* ---------------- lab ---------------- *)
+
+let lab_cmd =
+  let lab_dir_arg =
+    Arg.(value & opt string "bench/lab" & info [ "lab" ] ~docv:"DIR"
+           ~doc:"The lab directory holding the run ledger \
+                 ($(b,DIR/ledger.jsonl)).")
+  in
+  let noise_gate_arg =
+    Arg.(value & opt float 0.05 & info [ "noise" ] ~docv:"SECONDS"
+           ~doc:"Noise floor: wall-time deltas at or under this are never \
+                 regressions.")
+  in
+  let max_regress_arg =
+    Arg.(value & opt float 20.0 & info [ "max-regress" ] ~docv:"PCT"
+           ~doc:"Regression gate: flag experiments more than PCT percent \
+                 slower (and above the noise floor).")
+  in
+  let load_or_die dir =
+    match Castan.Lab.load ~dir with
+    | Ok store -> store
+    | Error e ->
+        Printf.eprintf "castan lab: %s\n%!" e;
+        exit 1
+  in
+  let find_or_die store selector =
+    match Castan.Lab.find_run store selector with
+    | Ok r -> r
+    | Error e ->
+        Printf.eprintf "castan lab: %s\n%!" e;
+        exit 1
+  in
+  let ingest_cmd =
+    let paths =
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH"
+             ~doc:"Artifacts to ingest: bench manifests ($(b,bench --json)), \
+                   run manifests ($(b,--metrics)), profile JSON \
+                   ($(b,--profile-json)), journal directories \
+                   ($(b,--journal DIR)), or directories of $(b,*.json) \
+                   files.")
+    in
+    let run dir paths =
+      match Castan.Lab.ingest ~dir paths with
+      | Error e ->
+          Printf.eprintf "castan lab: %s\n%!" e;
+          exit 1
+      | Ok stats ->
+          List.iter
+            (fun (path, reason) ->
+              Printf.eprintf "castan lab: skipped %s: %s\n%!" path reason)
+            stats.Castan.Lab.errors;
+          Printf.printf
+            "ingested %d run(s) into %s (%d duplicate, %d skipped)\n"
+            stats.Castan.Lab.ingested
+            (Filename.concat dir "ledger.jsonl")
+            stats.Castan.Lab.duplicate
+            (List.length stats.Castan.Lab.errors);
+          if stats.Castan.Lab.ingested = 0 && stats.Castan.Lab.errors <> []
+             && stats.Castan.Lab.duplicate = 0
+          then exit 1
+    in
+    Cmd.v
+      (Cmd.info "ingest"
+         ~doc:"Normalize perf artifacts into the append-only run ledger")
+      Term.(const run $ lab_dir_arg $ paths)
+  in
+  let report_cmd =
+    let json_out =
+      Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the schema-versioned JSON report to FILE \
+                   ($(b,-) for stdout, replacing the table).")
+    in
+    let top =
+      Arg.(value & opt int 20 & info [ "top" ] ~docv:"N"
+             ~doc:"Rows per ranking axis.")
+    in
+    let run dir json_out top noise max_regress =
+      let store = load_or_die dir in
+      let report = Castan.Lab.report ~noise ~max_regress store in
+      let json () =
+        Obs.Json.to_string (Castan.Lab.report_json ~top report) ^ "\n"
+      in
+      (match json_out with
+      | Some "-" -> print_string (json ())
+      | Some path ->
+          print_string (Castan.Lab.report_table ~top report);
+          Util.Durable.write_string ~path (json ());
+          Printf.printf "wrote %s\n" path
+      | None -> print_string (Castan.Lab.report_table ~top report));
+      if report.Castan.Lab.rp_regressions <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Rank experiments across history, flag regressions and \
+               recurring failures, and suggest the next experiments (exit 1 \
+               when a regression is flagged)")
+      Term.(
+        const run $ lab_dir_arg $ json_out $ top $ noise_gate_arg
+        $ max_regress_arg)
+  in
+  let diff_cmd =
+    let base_sel =
+      Arg.(value & pos 0 (some string) None & info [] ~docv:"BASE"
+             ~doc:"Baseline run: $(b,latest), $(b,latest~K), a run-id \
+                   prefix, or an ingested file's basename.  Omitted: the \
+                   newest run comparable to NEXT.")
+    in
+    let next_sel =
+      Arg.(value & pos 1 (some string) None & info [] ~docv:"NEXT"
+             ~doc:"Run under test (same selector forms; default \
+                   $(b,latest)).")
+    in
+    let run dir noise max_regress base_sel next_sel =
+      let store = load_or_die dir in
+      let base, next =
+        match (base_sel, next_sel) with
+        | Some b, Some n -> (find_or_die store b, find_or_die store n)
+        | Some b, None -> (find_or_die store b, find_or_die store "latest")
+        | None, _ -> (
+            match Castan.Lab.latest_pair store with
+            | Ok (b, n) -> (b, n)
+            | Error e ->
+                Printf.eprintf "castan lab: %s\n%!" e;
+                exit 1)
+      in
+      let jb = base.Castan.Lab.identity.Castan.Manifest.jobs
+      and jn = next.Castan.Lab.identity.Castan.Manifest.jobs in
+      if jb <> jn then begin
+        Printf.eprintf
+          "castan lab: job counts differ (%s ran -j %d, %s ran -j %d); \
+           wall times across job counts answer a scaling question, not a \
+           regression question — skipping the regression gate\n%!"
+          base.Castan.Lab.file jb next.Castan.Lab.file jn;
+        exit 2
+      end;
+      let rendered, regressions =
+        Castan.Lab.render_diff ~noise ~max_regress
+          ~base_label:base.Castan.Lab.file ~next_label:next.Castan.Lab.file
+          ~base:(Castan.Lab.timings base) ~next:(Castan.Lab.timings next)
+      in
+      print_string rendered;
+      if regressions > 0 then begin
+        Printf.printf "%d regression(s) above the gate\n" regressions;
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Gate one ledger run against another (exit 1 on regression, \
+               2 when the runs are not comparable)")
+      Term.(
+        const run $ lab_dir_arg $ noise_gate_arg $ max_regress_arg $ base_sel
+        $ next_sel)
+  in
+  let runs_cmd =
+    let run dir =
+      let store = load_or_die dir in
+      Printf.printf
+        "%d run(s) in %s (%d duplicate, %d rejected, %d torn record(s) \
+         skipped)\n"
+        (List.length store.Castan.Lab.runs)
+        dir store.Castan.Lab.duplicates store.Castan.Lab.rejected
+        store.Castan.Lab.torn;
+      List.iter
+        (fun (r : Castan.Lab.run) ->
+          Printf.printf "  %s  %-8s -j%-2s %8.1fs  %2d entries  %s\n"
+            (String.sub r.Castan.Lab.run_id 0 12)
+            (Castan.Lab.source_name r.Castan.Lab.source)
+            (if r.Castan.Lab.identity.Castan.Manifest.jobs > 0 then
+               string_of_int r.Castan.Lab.identity.Castan.Manifest.jobs
+             else "?")
+            r.Castan.Lab.total_seconds
+            (List.length r.Castan.Lab.entries)
+            r.Castan.Lab.file)
+        (List.rev store.Castan.Lab.runs)
+    in
+    Cmd.v
+      (Cmd.info "runs" ~doc:"List the ledger's runs, newest first")
+      Term.(const run $ lab_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "lab"
+       ~doc:"The performance lab: run ledger, rankings, regression triage, \
+             suggested-next experiments")
+    [ ingest_cmd; report_cmd; diff_cmd; runs_cmd ]
+
 (* ---------------- experiment ---------------- *)
 
 let experiment_cmd =
@@ -621,4 +808,4 @@ let () =
   let info = Cmd.info "castan" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ list_cmd; analyze_cmd; profile_cmd; probe_cmd; replay_cmd; dump_cmd;
-      experiment_cmd ]))
+      experiment_cmd; lab_cmd ]))

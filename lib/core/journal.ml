@@ -1,4 +1,4 @@
-type identity = {
+type identity = Manifest.identity = {
   git : string;
   config_digest : string;
   seed : int;
@@ -24,15 +24,7 @@ let m_reused = Obs.Metrics.counter "journal.cells_reused"
 let m_resumes = Obs.Metrics.counter "journal.resumes"
 
 let current_identity (config : Experiment.config) =
-  {
-    git = Manifest.git_describe ();
-    config_digest =
-      Digest.to_hex
-        (Digest.string (Obs.Json.to_string (Manifest.config_json config)));
-    seed = config.Experiment.seed;
-    jobs = Util.Pool.default_jobs ();
-    injection = Util.Resilience.injection_signature ();
-  }
+  Manifest.current_identity ~config ()
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers                                                        *)
@@ -83,23 +75,8 @@ let rec map_result f = function
 (* Codecs                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let identity_json (i : identity) =
-  Obs.Json.Obj
-    [
-      ("git", Obs.Json.Str i.git);
-      ("config_digest", Obs.Json.Str i.config_digest);
-      ("seed", Obs.Json.Int i.seed);
-      ("jobs", Obs.Json.Int i.jobs);
-      ("injection", Obs.Json.Str i.injection);
-    ]
-
-let identity_of_json j =
-  let* git = str_field "git" j in
-  let* config_digest = str_field "config_digest" j in
-  let* seed = int_field "seed" j in
-  let* jobs = int_field "jobs" j in
-  let* injection = str_field "injection" j in
-  Ok { git; config_digest; seed; jobs; injection }
+let identity_json = Manifest.identity_json
+let identity_of_json = Manifest.identity_of_json
 
 let sample_json (s : Testbed.Dut.sample) =
   Obs.Json.List

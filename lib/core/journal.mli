@@ -27,7 +27,7 @@
     whose decoded value no longer matches the recorded fingerprint, is
     skipped with a warning — the cell is recomputed rather than trusted. *)
 
-type identity = {
+type identity = Manifest.identity = {
   git : string;  (** [git describe --always --dirty] *)
   config_digest : string;  (** MD5 of the canonical config JSON *)
   seed : int;

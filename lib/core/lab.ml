@@ -1,0 +1,1341 @@
+(* The performance lab's run ledger and analysis pass.  See lab.mli for the
+   determinism contract; the shape of the loop (read ledger -> rank ->
+   suggest -> run -> re-ingest) follows the Latency Lab exemplar in
+   SNIPPETS.md, rebuilt natively on Util.Durable + Obs.Json. *)
+
+type source = Bench | Run_manifest | Profile | Journal_ledger
+
+let source_name = function
+  | Bench -> "bench"
+  | Run_manifest -> "manifest"
+  | Profile -> "profile"
+  | Journal_ledger -> "journal"
+
+let source_of_name = function
+  | "bench" -> Ok Bench
+  | "manifest" -> Ok Run_manifest
+  | "profile" -> Ok Profile
+  | "journal" -> Ok Journal_ledger
+  | s -> Error (Printf.sprintf "unknown source %S" s)
+
+type entry = {
+  id : string;
+  seconds : float;
+  counters : (string * int) list;
+  identity : Manifest.identity option;
+  status : string;
+}
+
+type run = {
+  run_id : string;
+  source : source;
+  file : string;
+  generated_at : float;
+  identity : Manifest.identity;
+  schema : int;
+  total_seconds : float;
+  pool_tasks : int;
+  pool_busy_ns : int;
+  entries : entry list;
+}
+
+type store = {
+  dir : string;
+  runs : run list;
+  duplicates : int;
+  rejected : int;
+  torn : int;
+}
+
+let ledger_schema_version = 1
+let report_schema_version = 1
+
+(* The newest bench --json schema this build can normalize. *)
+let max_bench_schema = 3
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let member = Obs.Json.member
+
+let str_of = function Obs.Json.Str s -> Some s | _ -> None
+
+let num_of = function
+  | Obs.Json.Float f -> Some f
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let int_of = function Obs.Json.Int i -> Some i | _ -> None
+
+let get_str j k = Option.bind (member k j) str_of
+let get_num j k = Option.bind (member k j) num_of
+let get_int j k = Option.bind (member k j) int_of
+
+(* ------------------------------------------------------------------ *)
+(* Ledger record codec                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let entry_json (e : entry) =
+  Obs.Json.Obj
+    ([
+       ("id", Obs.Json.Str e.id);
+       ("seconds", Obs.Json.Float e.seconds);
+       ("status", Obs.Json.Str e.status);
+       ( "counters",
+         Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) e.counters)
+       );
+     ]
+    @
+    match e.identity with
+    | Some i -> [ ("identity", Manifest.identity_json i) ]
+    | None -> [])
+
+let entry_of_json j =
+  match (get_str j "id", get_num j "seconds", get_str j "status") with
+  | Some id, Some seconds, Some status ->
+      let counters =
+        match member "counters" j with
+        | Some (Obs.Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (int_of v))
+              kvs
+        | _ -> []
+      in
+      let identity =
+        Option.bind (member "identity" j) (fun i ->
+            Result.to_option (Manifest.identity_of_json i))
+      in
+      Ok { id; seconds; counters; identity; status }
+  | _ -> Error "entry: missing id/seconds/status"
+
+(* [for_id] blanks the provenance fields (run_id, file) so the digest is a
+   pure function of the normalized content — the same artifact ingests to
+   the same run_id from any path or filename. *)
+let run_json ?(for_id = false) (r : run) =
+  Obs.Json.Obj
+    ([
+       ("schema_version", Obs.Json.Int ledger_schema_version);
+       ("kind", Obs.Json.Str "run");
+     ]
+    @ (if for_id then [] else [ ("run_id", Obs.Json.Str r.run_id) ])
+    @ [
+        ("source", Obs.Json.Str (source_name r.source));
+        ("file", Obs.Json.Str (if for_id then "" else r.file));
+        ("generated_at", Obs.Json.Float r.generated_at);
+        ("identity", Manifest.identity_json r.identity);
+        ("source_schema", Obs.Json.Int r.schema);
+        ("total_seconds", Obs.Json.Float r.total_seconds);
+        ( "pool",
+          Obs.Json.Obj
+            [
+              ("tasks", Obs.Json.Int r.pool_tasks);
+              ("busy_ns", Obs.Json.Int r.pool_busy_ns);
+            ] );
+        ("entries", Obs.Json.List (List.map entry_json r.entries));
+      ])
+
+let with_run_id r =
+  let digest =
+    Digest.to_hex (Digest.string (Obs.Json.to_string (run_json ~for_id:true r)))
+  in
+  { r with run_id = digest }
+
+let run_of_json j =
+  match get_int j "schema_version" with
+  | Some v when v = ledger_schema_version -> (
+      match get_str j "kind" with
+      | Some "run" -> (
+          match
+            ( get_str j "run_id",
+              Option.bind (get_str j "source") (fun s ->
+                  Result.to_option (source_of_name s)),
+              get_str j "file",
+              get_num j "generated_at",
+              Option.bind (member "identity" j) (fun i ->
+                  Result.to_option (Manifest.identity_of_json i)),
+              get_int j "source_schema",
+              get_num j "total_seconds" )
+          with
+          | ( Some run_id,
+              Some source,
+              Some file,
+              Some generated_at,
+              Some identity,
+              Some schema,
+              Some total_seconds ) -> (
+              let pool_tasks, pool_busy_ns =
+                match member "pool" j with
+                | Some p ->
+                    ( Option.value ~default:0 (get_int p "tasks"),
+                      Option.value ~default:0 (get_int p "busy_ns") )
+                | None -> (0, 0)
+              in
+              match member "entries" j with
+              | Some (Obs.Json.List es) -> (
+                  let rec decode acc = function
+                    | [] -> Ok (List.rev acc)
+                    | e :: rest -> (
+                        match entry_of_json e with
+                        | Ok d -> decode (d :: acc) rest
+                        | Error _ as err -> err)
+                  in
+                  match decode [] es with
+                  | Ok entries ->
+                      Ok
+                        {
+                          run_id;
+                          source;
+                          file;
+                          generated_at;
+                          identity;
+                          schema;
+                          total_seconds;
+                          pool_tasks;
+                          pool_busy_ns;
+                          entries;
+                        }
+                  | Error e -> Error e)
+              | _ -> Error "run record without an entries list")
+          | _ -> Error "run record with missing or mistyped fields")
+      | _ -> Error "not a run record")
+  | Some v ->
+      Error
+        (Printf.sprintf "ledger schema_version %d (this build reads %d)" v
+           ledger_schema_version)
+  | None -> Error "record without schema_version"
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Identity of an artifact that predates per-entry identities: assembled
+   from the top-level fields old manifests do carry.  The config digest is
+   taken over the config object exactly as stored, which matches what the
+   same build would have computed. *)
+let fallback_identity j =
+  match member "identity" j with
+  | Some i when Result.is_ok (Manifest.identity_of_json i) ->
+      Result.get_ok (Manifest.identity_of_json i)
+  | _ ->
+      {
+        Manifest.git = Option.value ~default:"unknown" (get_str j "git");
+        config_digest =
+          (match member "config" j with
+          | Some c -> Digest.to_hex (Digest.string (Obs.Json.to_string c))
+          | None -> "");
+        seed = Option.value ~default:0 (get_int j "seed");
+        jobs = Option.value ~default:0 (get_int j "jobs");
+        injection = "none";
+      }
+
+let counters_of_metrics m =
+  match member "counters" m with
+  | Some (Obs.Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (int_of v))
+        kvs
+  | _ -> []
+
+let sort_counters l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let pool_of j =
+  match member "pool" j with
+  | Some p ->
+      ( Option.value ~default:0 (get_int p "tasks"),
+        Option.value ~default:0 (get_int p "worker_busy_ns") )
+  | None -> (0, 0)
+
+(* bench --json: one entry per experiments_timed element.  Metrics
+   snapshots are cumulative over the campaign, so each entry's counters are
+   the delta against the previous snapshot — the growth this experiment
+   caused.  (Under -j > 1 the prewarm entry absorbs most of it.) *)
+let normalize_bench ~file j =
+  let schema = Option.value ~default:1 (get_int j "schema_version") in
+  if schema > max_bench_schema then
+    Error
+      (Printf.sprintf "bench schema_version %d is newer than this build's %d"
+         schema max_bench_schema)
+  else
+    match member "experiments_timed" j with
+    | Some (Obs.Json.List timed) ->
+        let prev = Hashtbl.create 32 in
+        let entries =
+          List.filter_map
+            (fun ej ->
+              match (get_str ej "id", get_num ej "seconds") with
+              | Some id, Some seconds ->
+                  let counters =
+                    match member "metrics" ej with
+                    | Some m ->
+                        let cur = counters_of_metrics m in
+                        let delta =
+                          List.map
+                            (fun (k, v) ->
+                              let p =
+                                Option.value ~default:0 (Hashtbl.find_opt prev k)
+                              in
+                              (k, v - p))
+                            cur
+                        in
+                        List.iter (fun (k, v) -> Hashtbl.replace prev k v) cur;
+                        sort_counters delta
+                    | None -> []
+                  in
+                  let identity =
+                    Option.bind (member "identity" ej) (fun i ->
+                        Result.to_option (Manifest.identity_of_json i))
+                  in
+                  Some { id; seconds; counters; identity; status = "ok" }
+              | _ -> None)
+            timed
+        in
+        if entries = [] then Error "bench manifest with no timed experiments"
+        else
+          let total_seconds =
+            List.fold_left (fun a e -> a +. e.seconds) 0.0 entries
+          in
+          let pool_tasks, pool_busy_ns = pool_of j in
+          Ok
+            (with_run_id
+               {
+                 run_id = "";
+                 source = Bench;
+                 file = Filename.basename file;
+                 generated_at =
+                   Option.value ~default:0.0 (get_num j "generated_at_unix");
+                 identity = fallback_identity j;
+                 schema;
+                 total_seconds;
+                 pool_tasks;
+                 pool_busy_ns;
+                 entries;
+               })
+    | _ -> Error "experiments_timed is not a list"
+
+(* A run manifest (--metrics): one snapshot, one entry.  The counters are
+   absolute (nothing to delta against) and there is no per-experiment wall
+   time, so these runs feed counter analyses and provenance, not the wall
+   rankings. *)
+let normalize_manifest ~file j =
+  let id =
+    match get_str j "nf" with
+    | Some nf -> nf
+    | None -> (
+        match member "experiments" j with
+        | Some (Obs.Json.List ids) ->
+            let names = List.filter_map str_of ids in
+            if names = [] then "run" else String.concat "+" names
+        | _ -> "run")
+  in
+  let counters =
+    match member "metrics" j with
+    | Some m -> sort_counters (counters_of_metrics m)
+    | None -> []
+  in
+  let pool_tasks, pool_busy_ns = pool_of j in
+  Ok
+    (with_run_id
+       {
+         run_id = "";
+         source = Run_manifest;
+         file = Filename.basename file;
+         generated_at =
+           Option.value ~default:0.0 (get_num j "generated_at_unix");
+         identity = fallback_identity j;
+         schema = 1;
+         total_seconds = 0.0;
+         pool_tasks;
+         pool_busy_ns;
+         entries =
+           [ { id; seconds = 0.0; counters; identity = None; status = "ok" } ];
+       })
+
+let normalize_profile ~file j =
+  match (get_int j "total_cycles", member "blocks" j) with
+  | Some total, Some (Obs.Json.List blocks) ->
+      let id = Option.value ~default:"profile" (get_str j "nf") in
+      let counters =
+        sort_counters
+          [
+            ("profile.total_cycles", total);
+            ("profile.blocks", List.length blocks);
+          ]
+      in
+      Ok
+        (with_run_id
+           {
+             run_id = "";
+             source = Profile;
+             file = Filename.basename file;
+             generated_at = 0.0;
+             (* Profile JSON carries no provenance fields; a fixed blank
+                identity keeps the run_id a pure function of the content. *)
+             identity =
+               {
+                 Manifest.git = "unknown";
+                 config_digest = "";
+                 seed = 0;
+                 jobs = 0;
+                 injection = "none";
+               };
+             schema = Option.value ~default:1 (get_int j "schema_version");
+             total_seconds = 0.0;
+             pool_tasks = 0;
+             pool_busy_ns = 0;
+             entries =
+               [ { id; seconds = 0.0; counters; identity = None; status = "ok" } ];
+           })
+  | _ -> Error "profile JSON without total_cycles/blocks"
+
+let normalize ~file j =
+  match get_str j "kind" with
+  | Some ("run" | "lab-report") ->
+      Error "already a lab record (ingest the original artifact instead)"
+  | _ -> (
+      match member "experiments_timed" j with
+      | Some _ -> normalize_bench ~file j
+      | None -> (
+          match (member "total_cycles" j, member "blocks" j) with
+          | Some _, Some _ -> normalize_profile ~file j
+          | _ -> (
+              match (get_str j "tool", member "metrics" j) with
+              | Some "castan", Some _ -> normalize_manifest ~file j
+              | _ ->
+                  Error
+                    "unrecognized artifact (expected a bench manifest, run \
+                     manifest, profile JSON or journal ledger)")))
+
+(* A whole journal directory is one run: identity from the last open
+   record, one entry per cell (last record per key wins, as on resume).
+   Journal runs carry no wall time; they feed the failure-pattern scan. *)
+let normalize_journal ~dir =
+  let dir =
+    if Filename.basename dir = "ledger.jsonl" then Filename.dirname dir
+    else dir
+  in
+  let path = Filename.concat dir "ledger.jsonl" in
+  match
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error (Printf.sprintf "cannot read %s: %s" path m)
+  | Ok content ->
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let n = List.length lines in
+      let identity = ref None and opens = ref 0 in
+      let cells : (string, string * string) Hashtbl.t = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iteri
+        (fun i line ->
+          match Obs.Json.parse line with
+          | Error _ when i = n - 1 -> () (* torn final line *)
+          | Error _ -> ()
+          | Ok j -> (
+              match get_str j "kind" with
+              | Some "open" ->
+                  incr opens;
+                  Option.iter
+                    (fun id ->
+                      match Manifest.identity_of_json id with
+                      | Ok id -> identity := Some id
+                      | Error _ -> ())
+                    (member "identity" j)
+              | Some "cell" -> (
+                  match (get_str j "key", get_str j "nf", get_str j "status")
+                  with
+                  | Some key, Some nf, Some status ->
+                      if not (Hashtbl.mem cells key) then
+                        order := key :: !order;
+                      Hashtbl.replace cells key (nf, status)
+                  | _ -> ())
+              | _ -> ()))
+        lines;
+      (match !identity with
+      | None -> Error (Printf.sprintf "%s: no open record with an identity" path)
+      | Some identity ->
+          let entries =
+            List.rev_map
+              (fun key ->
+                let nf, status = Hashtbl.find cells key in
+                { id = nf; seconds = 0.0; counters = []; identity = None;
+                  status })
+              !order
+          in
+          Ok
+            (with_run_id
+               {
+                 run_id = "";
+                 source = Journal_ledger;
+                 file = Filename.concat (Filename.basename dir) "ledger.jsonl";
+                 generated_at = 0.0;
+                 identity;
+                 schema = 1;
+                 total_seconds = 0.0;
+                 pool_tasks = 0;
+                 pool_busy_ns = 0;
+                 entries;
+               }))
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error m -> Error m
+
+let normalize_file path =
+  match read_file path with
+  | Error m -> Error (Printf.sprintf "cannot read: %s" m)
+  | Ok content -> (
+      match Obs.Json.parse content with
+      | Error e -> Error (Printf.sprintf "not JSON: %s" e)
+      | Ok j -> normalize ~file:path j)
+
+let ingest_paths paths =
+  List.concat_map
+    (fun path ->
+      if Sys.file_exists path && Sys.is_directory path then
+        if Sys.file_exists (Filename.concat path "ledger.jsonl") then
+          [ (path, normalize_journal ~dir:path) ]
+        else
+          Sys.readdir path |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".json")
+          |> List.sort compare
+          |> List.map (fun f ->
+                 let full = Filename.concat path f in
+                 (full, normalize_file full))
+      else if Filename.basename path = "ledger.jsonl" then
+        [ (path, normalize_journal ~dir:path) ]
+      else [ (path, normalize_file path) ])
+    paths
+
+let ledger_path dir = Filename.concat dir "ledger.jsonl"
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let load ~dir =
+  let path = ledger_path dir in
+  if not (Sys.file_exists path) then
+    Ok { dir; runs = []; duplicates = 0; rejected = 0; torn = 0 }
+  else
+    match read_file path with
+    | Error m -> Error (Printf.sprintf "cannot read %s: %s" path m)
+    | Ok content ->
+        let lines =
+          String.split_on_char '\n' content
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let n = List.length lines in
+        let seen = Hashtbl.create 64 in
+        let runs = ref [] in
+        let duplicates = ref 0 and rejected = ref 0 and torn = ref 0 in
+        List.iteri
+          (fun i line ->
+            match Obs.Json.parse line with
+            | Error _ when i = n - 1 -> incr torn
+            | Error _ -> incr rejected
+            | Ok j -> (
+                match run_of_json j with
+                | Error _ -> incr rejected
+                | Ok r ->
+                    if Hashtbl.mem seen r.run_id then incr duplicates
+                    else begin
+                      Hashtbl.add seen r.run_id ();
+                      runs := r :: !runs
+                    end))
+          lines;
+        let runs =
+          List.sort
+            (fun a b ->
+              compare (a.generated_at, a.run_id) (b.generated_at, b.run_id))
+            (List.rev !runs)
+        in
+        Ok { dir; runs; duplicates = !duplicates; rejected = !rejected;
+             torn = !torn }
+
+type ingest_stats = {
+  ingested : int;
+  duplicate : int;
+  errors : (string * string) list;
+}
+
+let ingest ~dir paths =
+  mkdir_p dir;
+  match load ~dir with
+  | Error e -> Error e
+  | Ok store ->
+      let known = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace known r.run_id ()) store.runs;
+      let results = ingest_paths paths in
+      let appender = Util.Durable.append_open (ledger_path dir) in
+      let ingested = ref 0 and duplicate = ref 0 and errors = ref [] in
+      List.iter
+        (fun (path, result) ->
+          match result with
+          | Error e -> errors := (path, e) :: !errors
+          | Ok run ->
+              if Hashtbl.mem known run.run_id then incr duplicate
+              else begin
+                Hashtbl.replace known run.run_id ();
+                Util.Durable.append_line appender
+                  (Obs.Json.to_string (run_json run));
+                incr ingested
+              end)
+        results;
+      Util.Durable.append_close appender;
+      Ok
+        { ingested = !ingested; duplicate = !duplicate;
+          errors = List.rev !errors }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup and diffing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let short id = if String.length id > 12 then String.sub id 0 12 else id
+
+let find_run store selector =
+  let newest_first = List.rev store.runs in
+  let describe r =
+    Printf.sprintf "  %s  %s (%s)" (short r.run_id) r.file
+      (source_name r.source)
+  in
+  let no_match () =
+    Error
+      (Printf.sprintf
+         "no run matches %S; ledger holds %d run(s):\n%s" selector
+         (List.length store.runs)
+         (String.concat "\n" (List.map describe newest_first)))
+  in
+  if store.runs = [] then Error "the lab ledger is empty (run `lab ingest')"
+  else if selector = "latest" then Ok (List.hd newest_first)
+  else if String.length selector > 7 && String.sub selector 0 7 = "latest~"
+  then
+    match
+      int_of_string_opt
+        (String.sub selector 7 (String.length selector - 7))
+    with
+    | Some k when k >= 0 && k < List.length newest_first ->
+        Ok (List.nth newest_first k)
+    | Some _ -> no_match ()
+    | None -> Error (Printf.sprintf "bad selector %S" selector)
+  else
+    let prefix_matches =
+      List.filter
+        (fun r ->
+          String.length selector <= String.length r.run_id
+          && String.sub r.run_id 0 (String.length selector) = selector)
+        newest_first
+    in
+    match prefix_matches with
+    | [ r ] -> Ok r
+    | _ :: _ :: _ ->
+        Error
+          (Printf.sprintf "run id prefix %S is ambiguous:\n%s" selector
+             (String.concat "\n" (List.map describe prefix_matches)))
+    | [] -> (
+        let base = Filename.basename selector in
+        match List.filter (fun r -> r.file = base) newest_first with
+        | r :: _ -> Ok r
+        | [] -> no_match ())
+
+let timings run =
+  List.filter_map
+    (fun e ->
+      if e.status = "ok" && e.seconds > 0.0 then Some (e.id, e.seconds)
+      else None)
+    run.entries
+
+let comparable a b =
+  a.identity.Manifest.config_digest = b.identity.Manifest.config_digest
+  && a.identity.Manifest.seed = b.identity.Manifest.seed
+  && a.identity.Manifest.jobs = b.identity.Manifest.jobs
+  && a.identity.Manifest.injection = b.identity.Manifest.injection
+
+let latest_pair store =
+  let newest_first = List.rev store.runs in
+  match List.filter (fun r -> r.total_seconds > 0.0) newest_first with
+  | [] -> Error "no wall-bearing runs in the ledger"
+  | newest :: older -> (
+      match List.find_opt (comparable newest) older with
+      | Some base -> Ok (base, newest)
+      | None ->
+          Error
+            (Printf.sprintf
+               "no earlier run is comparable to %s (%s): same config \
+                digest, seed, -j %d and injection signature required"
+               (short newest.run_id) newest.file newest.identity.Manifest.jobs))
+
+let render_diff ~noise ~max_regress ~base_label ~next_label ~base ~next =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "diff: %s -> %s (gate %.0f%%, noise %.3fs)\n"
+    base_label next_label max_regress noise;
+  let regressions = ref 0 in
+  List.iter
+    (fun (id, t1) ->
+      match List.assoc_opt id base with
+      | None -> Printf.bprintf buf "  %-24s %8.3fs  (new experiment)\n" id t1
+      | Some t0 ->
+          let delta = t1 -. t0 in
+          let pct = if t0 > 0.0 then 100.0 *. delta /. t0 else 0.0 in
+          let gated = delta > noise && pct > max_regress in
+          if gated then incr regressions;
+          Printf.bprintf buf "  %-24s %8.3fs -> %8.3fs  %+7.1f%%%s\n" id t0 t1
+            pct
+            (if gated then "  REGRESSION"
+             else if abs_float delta <= noise then "  (noise)"
+             else ""))
+    next;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id next) then
+        Printf.bprintf buf "  %-24s (dropped from new run)\n" id)
+    base;
+  (Buffer.contents buf, !regressions)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter name l = Option.value ~default:0 (List.assoc_opt name l)
+
+let solver_queries c =
+  counter "solver.verdict.sat" c
+  + counter "solver.verdict.unsat" c
+  + counter "solver.verdict.unknown" c
+
+let cache_hit_rate c =
+  let avoided =
+    counter "solver.cache.hit" c
+    + counter "solver.cache.subset_hit" c
+    + counter "solver.cache.model_reuse" c
+  in
+  let queries = avoided + counter "solver.cache.miss" c in
+  if queries = 0 then -1.0 else float_of_int avoided /. float_of_int queries
+
+(* Which subsystem an entry's counter growth points at.  The weights are a
+   documented heuristic (DESIGN.md §12): one solved query outweighs ~1000
+   interpreted instructions, one cache-model access ~10.  "unknown" means
+   the entry grew no counters at all (e.g. a pure replay experiment served
+   from the campaign memo). *)
+let bound_of c =
+  let scores =
+    [
+      ("solver", 1000 * solver_queries c);
+      ("symbex", counter "symbex.executed_instrs" c);
+      ("cache-model",
+       10 * (counter "cache.model.hit" c + counter "cache.model.miss" c));
+    ]
+  in
+  let name, best =
+    List.fold_left
+      (fun (bn, bs) (n, s) -> if s > bs then (n, s) else (bn, bs))
+      ("unknown", 0) scores
+  in
+  if best = 0 then "unknown" else name
+
+type ranking = {
+  rk_id : string;
+  rk_runs : int;
+  rk_latest : float;
+  rk_best : float;
+  rk_worst : float;
+  rk_mean : float;
+  rk_solver_queries : int;
+  rk_cache_hit_rate : float;
+  rk_bound : string;
+}
+
+type regression = {
+  rg_id : string;
+  rg_jobs : int;
+  rg_streak : int;
+  rg_base : float;
+  rg_last : float;
+  rg_pct : float;
+  rg_bound : string;
+  rg_from_run : string;
+  rg_to_run : string;
+}
+
+type suggestion = {
+  sg_kind : string;
+  sg_experiment : string option;
+  sg_action : string;
+  sg_rationale : string;
+}
+
+type report = {
+  rp_store : store;
+  rp_rankings : ranking list;
+  rp_regressions : regression list;
+  rp_failures : (string * int) list;
+  rp_suggestions : suggestion list;
+}
+
+(* Experiment rankings across history: one record per experiment id that
+   carries wall time anywhere, aggregated over wall-bearing runs in ledger
+   (content) order; "latest" fields come from the newest run. *)
+let rankings store =
+  let tbl : (string, (run * entry) list) Hashtbl.t = Hashtbl.create 64 in
+  let ids = ref [] in
+  List.iter
+    (fun r ->
+      if r.total_seconds > 0.0 then
+        List.iter
+          (fun e ->
+            if e.status = "ok" && e.seconds > 0.0 then begin
+              if not (Hashtbl.mem tbl e.id) then ids := e.id :: !ids;
+              Hashtbl.replace tbl e.id
+                ((r, e) :: Option.value ~default:[] (Hashtbl.find_opt tbl e.id))
+            end)
+          r.entries)
+    store.runs;
+  let records =
+    List.rev_map
+      (fun id ->
+        let occurrences = Hashtbl.find tbl id in
+        (* built newest-last reversed: head is the newest occurrence *)
+        let _, latest = List.hd occurrences in
+        let seconds = List.map (fun (_, e) -> e.seconds) occurrences in
+        let n = List.length seconds in
+        {
+          rk_id = id;
+          rk_runs = n;
+          rk_latest = latest.seconds;
+          rk_best = List.fold_left min infinity seconds;
+          rk_worst = List.fold_left max 0.0 seconds;
+          rk_mean = List.fold_left ( +. ) 0.0 seconds /. float_of_int n;
+          rk_solver_queries = solver_queries latest.counters;
+          rk_cache_hit_rate = cache_hit_rate latest.counters;
+          rk_bound = bound_of latest.counters;
+        })
+      !ids
+  in
+  List.sort
+    (fun a b -> compare (b.rk_latest, a.rk_id) (a.rk_latest, b.rk_id))
+    records
+
+(* The regression scan walks each comparable group (identity up to git) in
+   ledger order and reports experiments whose *last* transition regressed,
+   with the streak of consecutive regressing transitions behind it. *)
+let regressions ~noise ~max_regress store =
+  let groups : (string, run list) Hashtbl.t = Hashtbl.create 8 in
+  let keys = ref [] in
+  List.iter
+    (fun r ->
+      if r.total_seconds > 0.0 then begin
+        let k =
+          Printf.sprintf "%s|%d|%d|%s" r.identity.Manifest.config_digest
+            r.identity.Manifest.seed r.identity.Manifest.jobs
+            r.identity.Manifest.injection
+        in
+        if not (Hashtbl.mem groups k) then keys := k :: !keys;
+        Hashtbl.replace groups k
+          (r :: Option.value ~default:[] (Hashtbl.find_opt groups k))
+      end)
+    store.runs;
+  let findings = ref [] in
+  List.iter
+    (fun key ->
+      let runs = List.rev (Hashtbl.find groups key) in
+      (* per id: the (run, seconds, counters) sequence in run order *)
+      let seqs : (string, (run * entry) list) Hashtbl.t = Hashtbl.create 32 in
+      let ids = ref [] in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun e ->
+              if e.status = "ok" && e.seconds > 0.0 then begin
+                if not (Hashtbl.mem seqs e.id) then ids := e.id :: !ids;
+                Hashtbl.replace seqs e.id
+                  ((r, e)
+                  :: Option.value ~default:[] (Hashtbl.find_opt seqs e.id))
+              end)
+            r.entries)
+        runs;
+      List.iter
+        (fun id ->
+          match List.rev (Hashtbl.find seqs id) with
+          | [] | [ _ ] -> ()
+          | seq ->
+              let arr = Array.of_list seq in
+              let n = Array.length arr in
+              let regress i =
+                (* transition arr.(i-1) -> arr.(i) *)
+                let _, p = arr.(i - 1) and _, c = arr.(i) in
+                let delta = c.seconds -. p.seconds in
+                delta > noise
+                && 100.0 *. delta /. p.seconds > max_regress
+              in
+              if regress (n - 1) then begin
+                let start = ref (n - 1) in
+                while !start > 1 && regress (!start - 1) do
+                  decr start
+                done;
+                let base_run, base_entry = arr.(!start - 1) in
+                let last_run, last_entry = arr.(n - 1) in
+                findings :=
+                  {
+                    rg_id = id;
+                    rg_jobs = last_run.identity.Manifest.jobs;
+                    rg_streak = n - !start;
+                    rg_base = base_entry.seconds;
+                    rg_last = last_entry.seconds;
+                    rg_pct =
+                      100.0
+                      *. (last_entry.seconds -. base_entry.seconds)
+                      /. base_entry.seconds;
+                    rg_bound = bound_of last_entry.counters;
+                    rg_from_run = short base_run.run_id;
+                    rg_to_run = short last_run.run_id;
+                  }
+                  :: !findings
+              end)
+        (List.rev !ids))
+    (List.rev !keys);
+  List.sort (fun a b -> compare (b.rg_pct, a.rg_id) (a.rg_pct, b.rg_id))
+    (List.rev !findings)
+
+(* Failure patterns: "<id> <status>" for failed cells/entries, "<id>
+   degraded" for entries whose delta counters show degraded symbex runs.
+   Counted per distinct run. *)
+let failure_patterns store =
+  let tbl : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let note pattern run_id =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl pattern) in
+    if prev = [] then order := pattern :: !order;
+    if not (List.mem run_id prev) then
+      Hashtbl.replace tbl pattern (run_id :: prev)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun e ->
+          if e.status <> "ok" then
+            note (Printf.sprintf "%s %s" e.id e.status) r.run_id;
+          if counter "symbex.degraded_runs" e.counters > 0 then
+            note (Printf.sprintf "%s degraded" e.id) r.run_id)
+        r.entries)
+    store.runs;
+  List.rev_map
+    (fun p -> (p, List.length (Hashtbl.find tbl p)))
+    !order
+  |> List.sort (fun (pa, ca) (pb, cb) -> compare (cb, pa) (ca, pb))
+
+let suggestions ~regressions:regs ~failures store =
+  let of_regression rg =
+    let id = rg.rg_id in
+    let streak =
+      if rg.rg_streak > 1 then
+        Printf.sprintf "regressed %d runs straight" rg.rg_streak
+      else "regressed in the latest run"
+    in
+    match rg.rg_bound with
+    | "solver" ->
+        {
+          sg_kind = "regression-ab";
+          sg_experiment = Some id;
+          sg_action =
+            Printf.sprintf
+              "castan experiment %s --metrics ab-%s-nocache.json \
+               --no-solver-cache  # then diff vs a default run" id id;
+          sg_rationale =
+            Printf.sprintf
+              "%s %s (%.3fs -> %.3fs, +%.0f%%) and its counter growth is \
+               solver-bound: A/B --no-solver-cache to confirm the \
+               regression lives in the solver layer" id streak rg.rg_base
+              rg.rg_last rg.rg_pct;
+        }
+    | "cache-model" ->
+        {
+          sg_kind = "regression-ab";
+          sg_experiment = Some id;
+          sg_action =
+            Printf.sprintf
+              "castan experiment ablation-cache-model --metrics \
+               ab-%s-cachemodel.json  # cache-model ablation" id;
+          sg_rationale =
+            Printf.sprintf
+              "%s %s (%.3fs -> %.3fs, +%.0f%%) and is cache-model-bound: \
+               re-run the cache-model ablation to isolate the simulator" id
+              streak rg.rg_base rg.rg_last rg.rg_pct;
+        }
+    | "symbex" ->
+        {
+          sg_kind = "regression-ab";
+          sg_experiment = Some id;
+          sg_action =
+            Printf.sprintf
+              "castan profile --nf <nf> --analyze --profile-json \
+               ab-%s-profile.json  # attribute the new cycles" id;
+          sg_rationale =
+            Printf.sprintf
+              "%s %s (%.3fs -> %.3fs, +%.0f%%) and is symbex-bound: \
+               profile the exploration to find the hot blocks" id streak
+              rg.rg_base rg.rg_last rg.rg_pct;
+        }
+    | _ ->
+        {
+          sg_kind = "regression-ab";
+          sg_experiment = Some id;
+          sg_action =
+            Printf.sprintf "castan experiment %s --metrics recheck-%s.json"
+              id id;
+          sg_rationale =
+            Printf.sprintf
+              "%s %s (%.3fs -> %.3fs, +%.0f%%) with no counter growth to \
+               attribute: re-run with --metrics to collect one" id streak
+              rg.rg_base rg.rg_last rg.rg_pct;
+        }
+  in
+  (* The ROADMAP's single-core-only baseline gap: a -jN / -j1 pair under
+     the same code and config whose speedup never materialized, or a
+     ledger that has never seen a multicore run at all. *)
+  let jobs_gap () =
+    let wall = List.filter (fun r -> r.total_seconds > 0.0) store.runs in
+    let pair_key r =
+      Printf.sprintf "%s|%s|%d|%s" r.identity.Manifest.git
+        r.identity.Manifest.config_digest r.identity.Manifest.seed
+        r.identity.Manifest.injection
+    in
+    let groups : (string, run list) Hashtbl.t = Hashtbl.create 8 in
+    let keys = ref [] in
+    List.iter
+      (fun r ->
+        let k = pair_key r in
+        if not (Hashtbl.mem groups k) then keys := k :: !keys;
+        Hashtbl.replace groups k
+          (r :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+      wall;
+    let pair_suggestions =
+      List.filter_map
+        (fun k ->
+          let runs = Hashtbl.find groups k in
+          let j1 =
+            List.find_opt (fun r -> r.identity.Manifest.jobs = 1) runs
+          in
+          let jn =
+            List.fold_left
+              (fun acc r ->
+                if r.identity.Manifest.jobs > 1 then
+                  match acc with
+                  | Some b
+                    when b.identity.Manifest.jobs >= r.identity.Manifest.jobs
+                    -> acc
+                  | _ -> Some r
+                else acc)
+              None runs
+          in
+          match (j1, jn) with
+          | Some a, Some b ->
+              let speedup = a.total_seconds /. b.total_seconds in
+              (* Below half the ideal speedup the pair does not prove
+                 scaling — e.g. baselines produced on a single real core
+                 (the ROADMAP gap) land well under this line. *)
+              if
+                speedup < float_of_int b.identity.Manifest.jobs /. 2.0
+              then
+                Some
+                  {
+                    sg_kind = "jobs-sweep";
+                    sg_experiment = None;
+                    sg_action =
+                      Printf.sprintf
+                        "bench/main.exe --quick -j %d --json \
+                         bench/baselines/  # on a machine with >= %d real \
+                         cores" b.identity.Manifest.jobs
+                        b.identity.Manifest.jobs;
+                    sg_rationale =
+                      Printf.sprintf
+                        "baseline pair %s / %s shows only %.2fx at -j %d \
+                         vs -j 1 (under half the ideal) — the \
+                         single-core-only baseline gap (ROADMAP): \
+                         multicore speedup is still unproven; re-run the \
+                         sweep on real cores" a.file b.file speedup
+                        b.identity.Manifest.jobs;
+                  }
+              else None
+          | _ -> None)
+        (List.rev !keys)
+    in
+    if pair_suggestions <> [] then pair_suggestions
+    else if
+      List.length wall >= 3
+      && List.for_all (fun r -> r.identity.Manifest.jobs <= 1) wall
+    then
+      [
+        {
+          sg_kind = "jobs-sweep";
+          sg_experiment = None;
+          sg_action = "bench/main.exe --quick -j 4 --json bench/baselines/";
+          sg_rationale =
+            Printf.sprintf
+              "all %d wall-bearing runs in the ledger are -j 1 only: run a \
+               -j 4 sweep so the pool's scaling is measured, not assumed"
+              (List.length wall);
+        };
+      ]
+    else []
+  in
+  let of_failures =
+    List.filter_map
+      (fun (pattern, count) ->
+        if count < 2 then None
+        else
+          let id =
+            match String.index_opt pattern ' ' with
+            | Some sp -> String.sub pattern 0 sp
+            | None -> pattern
+          in
+          Some
+            {
+              sg_kind = "failure";
+              sg_experiment = Some id;
+              sg_action =
+                Printf.sprintf
+                  "castan experiment %s --fail-fast --log-level debug" id;
+              sg_rationale =
+                Printf.sprintf
+                  "recurring failure pattern %S (seen in %d runs): \
+                   reproduce under --fail-fast before trusting its timings"
+                  pattern count;
+            })
+      failures
+  in
+  if store.runs = [] then
+    [
+      {
+        sg_kind = "ingest";
+        sg_experiment = None;
+        sg_action = "castan lab ingest bench/baselines";
+        sg_rationale =
+          "the ledger is empty: ingest the committed baselines, then run \
+           and ingest a fresh campaign";
+      };
+    ]
+  else List.map of_regression regs @ jobs_gap () @ of_failures
+
+let report ?(noise = 0.05) ?(max_regress = 20.0) store =
+  let rp_rankings = rankings store in
+  let rp_regressions = regressions ~noise ~max_regress store in
+  let rp_failures = failure_patterns store in
+  let rp_suggestions =
+    suggestions ~regressions:rp_regressions ~failures:rp_failures store
+  in
+  { rp_store = store; rp_rankings; rp_regressions; rp_failures;
+    rp_suggestions }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let ranking_json r =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Str r.rk_id);
+      ("runs", Obs.Json.Int r.rk_runs);
+      ("latest_seconds", Obs.Json.Float r.rk_latest);
+      ("best_seconds", Obs.Json.Float r.rk_best);
+      ("worst_seconds", Obs.Json.Float r.rk_worst);
+      ("mean_seconds", Obs.Json.Float r.rk_mean);
+      ("solver_queries", Obs.Json.Int r.rk_solver_queries);
+      ("cache_hit_rate", Obs.Json.Float r.rk_cache_hit_rate);
+      ("bound", Obs.Json.Str r.rk_bound);
+    ]
+
+let report_json ?(top = 20) rp =
+  let s = rp.rp_store in
+  let entries = List.fold_left (fun a r -> a + List.length r.entries) 0 s.runs in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int report_schema_version);
+      ("kind", Obs.Json.Str "lab-report");
+      ( "ledger",
+        Obs.Json.Obj
+          [
+            ("dir", Obs.Json.Str s.dir);
+            ("runs", Obs.Json.Int (List.length s.runs));
+            ("entries", Obs.Json.Int entries);
+            ("duplicates", Obs.Json.Int s.duplicates);
+            ("rejected", Obs.Json.Int s.rejected);
+            ("torn", Obs.Json.Int s.torn);
+          ] );
+      ( "runs",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("run_id", Obs.Json.Str (short r.run_id));
+                   ("source", Obs.Json.Str (source_name r.source));
+                   ("file", Obs.Json.Str r.file);
+                   ("generated_at", Obs.Json.Float r.generated_at);
+                   ("git", Obs.Json.Str r.identity.Manifest.git);
+                   ("jobs", Obs.Json.Int r.identity.Manifest.jobs);
+                   ("total_seconds", Obs.Json.Float r.total_seconds);
+                   ("experiments", Obs.Json.Int (List.length r.entries));
+                 ])
+             s.runs) );
+      ( "rankings",
+        Obs.Json.Obj
+          [
+            ( "by_wall_time",
+              Obs.Json.List (List.map ranking_json (take top rp.rp_rankings))
+            );
+            ( "by_solver_queries",
+              Obs.Json.List
+                (List.map ranking_json
+                   (take top
+                      (List.filter (fun r -> r.rk_solver_queries > 0)
+                         rp.rp_rankings
+                      |> List.sort (fun a b ->
+                             compare
+                               (b.rk_solver_queries, a.rk_id)
+                               (a.rk_solver_queries, b.rk_id))))) );
+            ( "by_cache_hit_rate",
+              Obs.Json.List
+                (List.map ranking_json
+                   (take top
+                      (List.filter (fun r -> r.rk_cache_hit_rate >= 0.0)
+                         rp.rp_rankings
+                      |> List.sort (fun a b ->
+                             compare
+                               (a.rk_cache_hit_rate, a.rk_id)
+                               (b.rk_cache_hit_rate, b.rk_id)))) ) );
+          ] );
+      ( "regressions",
+        Obs.Json.List
+          (List.map
+             (fun rg ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Str rg.rg_id);
+                   ("jobs", Obs.Json.Int rg.rg_jobs);
+                   ("streak", Obs.Json.Int rg.rg_streak);
+                   ("base_seconds", Obs.Json.Float rg.rg_base);
+                   ("last_seconds", Obs.Json.Float rg.rg_last);
+                   ("pct", Obs.Json.Float rg.rg_pct);
+                   ("bound", Obs.Json.Str rg.rg_bound);
+                   ("from_run", Obs.Json.Str rg.rg_from_run);
+                   ("to_run", Obs.Json.Str rg.rg_to_run);
+                 ])
+             rp.rp_regressions) );
+      ( "failure_patterns",
+        Obs.Json.List
+          (List.map
+             (fun (pattern, count) ->
+               Obs.Json.Obj
+                 [
+                   ("pattern", Obs.Json.Str pattern);
+                   ("runs", Obs.Json.Int count);
+                 ])
+             rp.rp_failures) );
+      ( "suggested_next",
+        Obs.Json.List
+          (List.map
+             (fun sg ->
+               Obs.Json.Obj
+                 ([ ("kind", Obs.Json.Str sg.sg_kind) ]
+                 @ (match sg.sg_experiment with
+                   | Some e -> [ ("experiment", Obs.Json.Str e) ]
+                   | None -> [])
+                 @ [
+                     ("action", Obs.Json.Str sg.sg_action);
+                     ("rationale", Obs.Json.Str sg.sg_rationale);
+                   ]))
+             rp.rp_suggestions) );
+    ]
+
+let report_table ?(top = 20) rp =
+  let buf = Buffer.create 1024 in
+  let s = rp.rp_store in
+  Printf.bprintf buf
+    "lab: %d run(s) in %s (%d duplicate, %d rejected, %d torn record(s) \
+     skipped)\n"
+    (List.length s.runs) s.dir s.duplicates s.rejected s.torn;
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "  %s  %-8s -j%-2s %8.1fs  %s\n" (short r.run_id)
+        (source_name r.source)
+        (if r.identity.Manifest.jobs > 0 then
+           string_of_int r.identity.Manifest.jobs
+         else "?")
+        r.total_seconds r.file)
+    s.runs;
+  if rp.rp_rankings <> [] then begin
+    Buffer.add_string buf "\nslowest experiments (latest wall time):\n";
+    Buffer.add_string buf
+      (Util.Table.render
+         ~header:
+           [ "experiment"; "runs"; "latest s"; "best s"; "worst s"; "bound";
+             "cache hit" ]
+         ~rows:
+           (List.map
+              (fun r ->
+                [
+                  r.rk_id;
+                  string_of_int r.rk_runs;
+                  Printf.sprintf "%.3f" r.rk_latest;
+                  Printf.sprintf "%.3f" r.rk_best;
+                  Printf.sprintf "%.3f" r.rk_worst;
+                  r.rk_bound;
+                  (if r.rk_cache_hit_rate < 0.0 then "-"
+                   else Printf.sprintf "%.0f%%" (100.0 *. r.rk_cache_hit_rate));
+                ])
+              (take top rp.rp_rankings)))
+  end;
+  if rp.rp_regressions <> [] then begin
+    Buffer.add_string buf "\nregressions (latest run vs its predecessor):\n";
+    List.iter
+      (fun rg ->
+        Printf.bprintf buf
+          "  %-24s %8.3fs -> %8.3fs  +%.0f%%  streak %d  %s-bound  (%s -> \
+           %s)\n"
+          rg.rg_id rg.rg_base rg.rg_last rg.rg_pct rg.rg_streak rg.rg_bound
+          rg.rg_from_run rg.rg_to_run)
+      rp.rp_regressions
+  end;
+  if rp.rp_failures <> [] then begin
+    Buffer.add_string buf "\nfailure patterns:\n";
+    List.iter
+      (fun (pattern, count) ->
+        Printf.bprintf buf "  %-40s seen in %d run(s)\n" pattern count)
+      rp.rp_failures
+  end;
+  if rp.rp_suggestions <> [] then begin
+    Buffer.add_string buf "\nsuggested next experiments:\n";
+    List.iter
+      (fun sg ->
+        Printf.bprintf buf "  [%s] %s\n      $ %s\n" sg.sg_kind
+          sg.sg_rationale sg.sg_action)
+      rp.rp_suggestions
+  end;
+  Buffer.contents buf

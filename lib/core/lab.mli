@@ -1,0 +1,180 @@
+(** The performance lab: a schema-versioned, append-only run ledger over
+    every perf artifact the tool emits, plus the analysis pass that turns
+    the ledger into rankings, regression findings, and machine-readable
+    suggested-next experiments.
+
+    The ledger ([LAB_DIR/ledger.jsonl], one JSON record per line, written
+    through {!Util.Durable}) holds {e normalized runs}: a bench manifest
+    ([bench --json]), a run manifest ([--metrics]), a profile JSON
+    ([castan profile --profile-json]) or a journal ledger ([--journal DIR])
+    all normalize to the same [run] record — a {!Manifest.identity}, a
+    timestamp, and per-experiment entries carrying wall seconds and
+    {e delta} counters (bench metrics snapshots are cumulative; ingestion
+    subtracts consecutive snapshots so each entry owns the counter growth
+    it caused).
+
+    Determinism contract: a [run]'s id is the MD5 of its canonical
+    encoding with the source filename blanked, so the same content ingests
+    to the same id from any path; re-ingesting the same inputs appends
+    nothing (the ledger file is byte-identical); and {!report} orders runs
+    by [(generated_at, run_id)] — content, not ingest order — so the
+    report is a pure function of the ingested {e set}.  No part of the
+    analysis reads the clock. *)
+
+type source = Bench | Run_manifest | Profile | Journal_ledger
+
+val source_name : source -> string
+
+type entry = {
+  id : string;  (** experiment id, NF name, or synthetic label *)
+  seconds : float;  (** wall time; [0.] for sources that carry none *)
+  counters : (string * int) list;
+      (** per-entry counter {e deltas}, sorted by name *)
+  identity : Manifest.identity option;  (** per-entry identity (schema 3) *)
+  status : string;  (** ["ok"] or ["failed:<stage>"] *)
+}
+
+type run = {
+  run_id : string;  (** MD5 hex over the canonical, filename-free encoding *)
+  source : source;
+  file : string;  (** basename of the ingested file — provenance only *)
+  generated_at : float;  (** the artifact's own timestamp; [0.] if absent *)
+  identity : Manifest.identity;
+  schema : int;  (** the {e source} artifact's schema version *)
+  total_seconds : float;
+  pool_tasks : int;
+  pool_busy_ns : int;
+  entries : entry list;
+}
+
+type store = {
+  dir : string;
+  runs : run list;  (** sorted by [(generated_at, run_id)] *)
+  duplicates : int;  (** ledger records collapsed onto an earlier run_id *)
+  rejected : int;  (** unparsable or schema-skewed ledger lines dropped *)
+  torn : int;  (** torn final line dropped (1 or 0) *)
+}
+
+val ledger_schema_version : int
+val report_schema_version : int
+
+(** {2 Normalization and ingestion} *)
+
+val normalize : file:string -> Obs.Json.t -> (run, string) result
+(** Classify a parsed artifact by shape — [experiments_timed] = bench
+    manifest, [blocks] + [total_cycles] = profile, [tool]/[metrics] = run
+    manifest — and normalize it.  [Error] on unrecognized shapes and on
+    source schema versions newer than this build understands. *)
+
+val normalize_journal : dir:string -> (run, string) result
+(** One run for a whole journal directory (or a bare [ledger.jsonl] path):
+    identity from the last [open] record, one entry per cell (last record
+    per key wins) carrying the cell's NF name and status. *)
+
+val ingest_paths : string list -> (string * (run, string) result) list
+(** Expand and normalize, no ledger writes: a directory containing
+    [ledger.jsonl] is a journal; any other directory contributes its
+    [*.json] files in name order.  Returns one (path, result) per
+    candidate artifact. *)
+
+type ingest_stats = {
+  ingested : int;
+  duplicate : int;  (** content already in the ledger (or repeated input) *)
+  errors : (string * string) list;  (** (path, reason), in input order *)
+}
+
+val ingest : dir:string -> string list -> (ingest_stats, string) result
+(** Load the ledger at [dir] (created if missing), normalize every input,
+    and append the runs not already present.  Appends are fsynced line
+    writes; ingesting the same inputs twice leaves the ledger
+    byte-identical.  [Error] only when the ledger itself cannot be read or
+    written. *)
+
+val load : dir:string -> (store, string) result
+(** A missing ledger is an empty store, not an error. *)
+
+(** {2 Run lookup and diffing} *)
+
+val find_run : store -> string -> (run, string) result
+(** Selector forms: [latest] / [latest~K] (K runs before the newest),
+    a [run_id] prefix (must be unique), or an ingested file's basename
+    (newest match wins).  The error message lists near misses. *)
+
+val timings : run -> (string * float) list
+(** The ok entries that carry wall time, in entry order. *)
+
+val comparable : run -> run -> bool
+(** Same identity up to git: equal config digest, seed, jobs and injection
+    signature.  Wall times of non-comparable runs answer different
+    questions; {!diff} and the regression scan never cross them. *)
+
+val latest_pair : store -> (run * run, string) result
+(** The newest wall-bearing run and the newest earlier run comparable to
+    it — the ledger-native replacement for "latest two BENCH_*.json in a
+    dir". *)
+
+val render_diff :
+  noise:float ->
+  max_regress:float ->
+  base_label:string ->
+  next_label:string ->
+  base:(string * float) list ->
+  next:(string * float) list ->
+  string * int
+(** The bench_diff gate, shared with [tools/bench_diff]: returns the
+    rendered per-experiment table and the number of experiments whose
+    slowdown exceeds both the noise floor (seconds) and the percentage
+    gate. *)
+
+(** {2 Reports} *)
+
+type ranking = {
+  rk_id : string;
+  rk_runs : int;  (** wall-bearing runs containing this experiment *)
+  rk_latest : float;  (** seconds in the newest such run *)
+  rk_best : float;
+  rk_worst : float;
+  rk_mean : float;
+  rk_solver_queries : int;  (** delta verdicts in the newest entry *)
+  rk_cache_hit_rate : float;  (** solver-cache hit rate, [-1.] if no queries *)
+  rk_bound : string;  (** ["solver"], ["symbex"], ["cache-model"], ["unknown"] *)
+}
+
+type regression = {
+  rg_id : string;
+  rg_jobs : int;
+  rg_streak : int;  (** trailing consecutive regressing transitions *)
+  rg_base : float;  (** seconds before the streak began *)
+  rg_last : float;
+  rg_pct : float;  (** total slowdown over the streak *)
+  rg_bound : string;
+  rg_from_run : string;  (** run_id prefix *)
+  rg_to_run : string;
+}
+
+type suggestion = {
+  sg_kind : string;  (** ["regression-ab"], ["jobs-sweep"], ["failure"], ["ingest"] *)
+  sg_experiment : string option;
+  sg_action : string;  (** a runnable command line *)
+  sg_rationale : string;
+}
+
+type report = {
+  rp_store : store;
+  rp_rankings : ranking list;  (** by latest wall time, slowest first *)
+  rp_regressions : regression list;
+  rp_failures : (string * int) list;  (** failure pattern -> runs seen in *)
+  rp_suggestions : suggestion list;
+}
+
+val report : ?noise:float -> ?max_regress:float -> store -> report
+(** Pure.  Regression thresholds default to the bench_diff gate (0.05 s
+    noise floor, 20%). *)
+
+val report_json : ?top:int -> report -> Obs.Json.t
+(** Schema-versioned ({!report_schema_version}); rankings truncated to
+    [top] (default 20) entries per axis. *)
+
+val report_table : ?top:int -> report -> string
+(** The human rendering: summary, rankings table, regressions, failure
+    patterns, suggested-next list. *)

@@ -11,6 +11,18 @@ let git_describe () =
 
 let scale_name = function `Quick -> "quick" | `Default -> "default" | `Paper -> "paper"
 
+(* ------------------------------------------------------------------ *)
+(* Run identity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type identity = {
+  git : string;
+  config_digest : string;
+  seed : int;
+  jobs : int;
+  injection : string;
+}
+
 let config_json (c : Experiment.config) =
   Obs.Json.Obj
     [
@@ -23,6 +35,52 @@ let config_json (c : Experiment.config) =
       ("max_states", Obs.Json.Int c.Experiment.max_states);
       ("mem_budget_mb", Obs.Json.Int c.Experiment.mem_budget_mb);
     ]
+
+let config_digest c =
+  Digest.to_hex (Digest.string (Obs.Json.to_string (config_json c)))
+
+let current_identity ?config () =
+  {
+    git = git_describe ();
+    config_digest =
+      (match config with Some c -> config_digest c | None -> "");
+    seed = (match config with Some c -> c.Experiment.seed | None -> 0);
+    jobs = Util.Pool.default_jobs ();
+    injection = Util.Resilience.injection_signature ();
+  }
+
+let identity_json (i : identity) =
+  Obs.Json.Obj
+    [
+      ("git", Obs.Json.Str i.git);
+      ("config_digest", Obs.Json.Str i.config_digest);
+      ("seed", Obs.Json.Int i.seed);
+      ("jobs", Obs.Json.Int i.jobs);
+      ("injection", Obs.Json.Str i.injection);
+    ]
+
+let identity_of_json j =
+  let str k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "identity: missing string field %S" k)
+  in
+  let int k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "identity: missing int field %S" k)
+  in
+  match (str "git", str "config_digest", int "seed", int "jobs",
+         str "injection")
+  with
+  | Ok git, Ok config_digest, Ok seed, Ok jobs, Ok injection ->
+      Ok { git; config_digest; seed; jobs; injection }
+  | Error e, _, _, _, _
+  | _, Error e, _, _, _
+  | _, _, Error e, _, _
+  | _, _, _, Error e, _
+  | _, _, _, _, Error e ->
+      Error e
 
 (* Cache effectiveness at a glance: how many feasibility queries the solver
    never saw, and what fraction of slicing's work paid off.  Rates are
@@ -74,7 +132,12 @@ let make ?ids ?config ?(extra = []) () =
       | Some l -> [ ("experiments", Obs.Json.List (List.map (fun i -> Obs.Json.Str i) l)) ]
       | None -> [])
     @ (match config with
-      | Some c -> [ ("config", config_json c); ("seed", Obs.Json.Int c.Experiment.seed) ]
+      | Some c ->
+          [
+            ("config", config_json c);
+            ("seed", Obs.Json.Int c.Experiment.seed);
+            ("identity", identity_json (current_identity ~config:c ()));
+          ]
       | None -> [])
     @ extra
     @ [

@@ -13,6 +13,35 @@ val git_describe : unit -> string
 
 val config_json : Experiment.config -> Obs.Json.t
 
+(** {2 Run identity}
+
+    The five facts that decide whether two results are comparable — and
+    whether a journal cell or lab-ledger run may be reused: git revision,
+    a digest of the canonical config JSON, the seed, the worker-pool job
+    count, and the fault-injection signature.  {!Journal} keys its cells by
+    this record; {!Lab} keys ledger runs by it; [bench --json] (schema 3)
+    embeds it in every per-experiment entry so ingestion never guesses
+    provenance. *)
+
+type identity = {
+  git : string;  (** [git describe --always --dirty] *)
+  config_digest : string;  (** MD5 of the canonical config JSON; [""] when
+                               no config describes the run *)
+  seed : int;
+  jobs : int;
+  injection : string;  (** {!Util.Resilience.injection_signature} *)
+}
+
+val config_digest : Experiment.config -> string
+(** MD5 hex of {!config_json}'s rendering — the canonical config digest. *)
+
+val current_identity : ?config:Experiment.config -> unit -> identity
+(** The identity a result produced {e now} would carry.  Without [?config],
+    [config_digest] is [""] and [seed] is [0]. *)
+
+val identity_json : identity -> Obs.Json.t
+val identity_of_json : Obs.Json.t -> (identity, string) result
+
 val make :
   ?ids:string list ->
   ?config:Experiment.config ->

@@ -1,0 +1,356 @@
+(* Tests for the performance lab's run ledger and analysis pass: ingestion
+   is idempotent (byte-identical ledger) and order-independent (identical
+   report), damaged ledgers degrade to counts instead of crashes, rankings
+   are stable across re-ingest, and the synthetic-regression fixture shape
+   yields exactly one regression finding and one suggested-next entry. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+module Lab = Castan.Lab
+module Manifest = Castan.Manifest
+
+let fresh_dir () =
+  let path = Filename.temp_file "castan-lab" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let ledger_path dir = Filename.concat dir "ledger.jsonl"
+
+(* ---------------- synthetic bench manifests ---------------- *)
+
+let identity_json git =
+  Obs.Json.Obj
+    [
+      ("git", Obs.Json.Str git);
+      ("config_digest", Obs.Json.Str "labtest-digest");
+      ("seed", Obs.Json.Int 7);
+      ("jobs", Obs.Json.Int 1);
+      ("injection", Obs.Json.Str "none");
+    ]
+
+(* A schema-3 bench manifest.  [entries] carries *cumulative* counter
+   snapshots, exactly as `bench --json` writes them. *)
+let bench_manifest ~git ~generated_at ~entries =
+  Obs.Json.Obj
+    [
+      ("tool", Obs.Json.Str "castan");
+      ("schema_version", Obs.Json.Int 3);
+      ("generated_at_unix", Obs.Json.Float generated_at);
+      ("jobs", Obs.Json.Int 1);
+      ("identity", identity_json git);
+      ( "experiments_timed",
+        Obs.Json.List
+          (List.map
+             (fun (id, seconds, counters) ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Str id);
+                   ("seconds", Obs.Json.Float seconds);
+                   ("identity", identity_json git);
+                   ( "metrics",
+                     Obs.Json.Obj
+                       [
+                         ( "counters",
+                           Obs.Json.Obj
+                             (List.map
+                                (fun (k, v) -> (k, Obs.Json.Int v))
+                                counters) );
+                       ] );
+                 ])
+             entries) );
+    ]
+
+let write_manifest dir name json =
+  let path = Filename.concat dir name in
+  write_file path (Obs.Json.to_string json ^ "\n");
+  path
+
+(* The regression fixture shape: fig4 steady inside the noise floor, fig12
+   regressing +60% with solver-dominated counter growth. *)
+let regression_pair dir =
+  let counters sat instrs =
+    [
+      ("solver.verdict.sat", sat);
+      ("solver.cache.hit", sat * 9);
+      ("solver.cache.miss", sat);
+      ("symbex.executed_instrs", instrs);
+    ]
+  in
+  let base =
+    bench_manifest ~git:"base" ~generated_at:1000.0
+      ~entries:
+        [
+          ("fig4", 2.0, counters 100 50_000);
+          ("fig12", 5.0, counters 400 90_000);
+        ]
+  in
+  let regress =
+    bench_manifest ~git:"regress" ~generated_at:2000.0
+      ~entries:
+        [
+          ("fig4", 2.01, counters 100 50_000);
+          ("fig12", 8.0, counters 1300 100_000);
+        ]
+  in
+  ( write_manifest dir "synth_base.json" base,
+    write_manifest dir "synth_regress.json" regress )
+
+(* Random wall times well clear of the gate boundaries (either under the
+   noise floor or far above it), so float jitter can't flip a property. *)
+let gen_manifests =
+  QCheck.Gen.(
+    let* n = int_range 2 5 in
+    let* seconds =
+      list_size (return n)
+        (list_size (return 3) (map (fun k -> 0.5 +. float_of_int k) (int_range 0 40)))
+    in
+    return
+      (List.mapi
+         (fun i secs ->
+           let entries =
+             List.mapi
+               (fun j s ->
+                 ( Printf.sprintf "exp%d" j,
+                   s,
+                   [ ("solver.verdict.sat", (i + 1) * 100 * (j + 1)) ] ))
+               secs
+           in
+           bench_manifest
+             ~git:(Printf.sprintf "rev%d" i)
+             ~generated_at:(1000.0 +. (100.0 *. float_of_int i))
+             ~entries)
+         seconds))
+
+let arb_manifests = QCheck.make ~print:(fun _ -> "<manifests>") gen_manifests
+
+let ingest_ok dir paths =
+  match Lab.ingest ~dir paths with
+  | Ok stats -> stats
+  | Error e -> Alcotest.failf "ingest: %s" e
+
+let load_ok dir =
+  match Lab.load ~dir with
+  | Ok store -> store
+  | Error e -> Alcotest.failf "load: %s" e
+
+(* The rendered report with the ledger's own directory blanked: the one
+   field that is allowed to differ between two stores holding the same
+   ingested set. *)
+let report_string dir =
+  let r = Lab.report (load_ok dir) in
+  let r = { r with Lab.rp_store = { r.Lab.rp_store with Lab.dir = "" } } in
+  Obs.Json.to_string (Lab.report_json r)
+
+(* ---------------- properties ---------------- *)
+
+let test_ingest_idempotent =
+  QCheck.Test.make ~name:"re-ingest leaves the ledger byte-identical"
+    ~count:30 arb_manifests (fun manifests ->
+      with_dir (fun src ->
+          with_dir (fun lab ->
+              let paths =
+                List.mapi
+                  (fun i j ->
+                    write_manifest src (Printf.sprintf "m%d.json" i) j)
+                  manifests
+              in
+              let s1 = ingest_ok lab paths in
+              let first = read_file (ledger_path lab) in
+              let s2 = ingest_ok lab paths in
+              let second = read_file (ledger_path lab) in
+              s1.Lab.ingested = List.length manifests
+              && s2.Lab.ingested = 0
+              && s2.Lab.duplicate = List.length manifests
+              && first = second)))
+
+let test_ingest_order_independent =
+  QCheck.Test.make
+    ~name:"ingest order does not change the report" ~count:30
+    QCheck.(pair arb_manifests (int_range 0 1000))
+    (fun (manifests, salt) ->
+      with_dir (fun src ->
+          let paths =
+            List.mapi
+              (fun i j -> write_manifest src (Printf.sprintf "m%d.json" i) j)
+              manifests
+          in
+          (* a deterministic shuffle keyed on the generated salt *)
+          let shuffled =
+            List.map
+              (fun p -> (Hashtbl.hash (salt, p), p))
+              paths
+            |> List.sort compare |> List.map snd
+          in
+          with_dir (fun lab_a ->
+              with_dir (fun lab_b ->
+                  ignore (ingest_ok lab_a paths);
+                  ignore (ingest_ok lab_b shuffled);
+                  report_string lab_a = report_string lab_b))))
+
+let test_rankings_stable =
+  QCheck.Test.make ~name:"rankings are identical across re-ingest" ~count:30
+    arb_manifests (fun manifests ->
+      with_dir (fun src ->
+          with_dir (fun lab ->
+              let paths =
+                List.mapi
+                  (fun i j ->
+                    write_manifest src (Printf.sprintf "m%d.json" i) j)
+                  manifests
+              in
+              ignore (ingest_ok lab paths);
+              let r1 = (Lab.report (load_ok lab)).Lab.rp_rankings in
+              ignore (ingest_ok lab paths);
+              let r2 = (Lab.report (load_ok lab)).Lab.rp_rankings in
+              r1 = r2 && r1 <> [])))
+
+(* ---------------- damaged-ledger handling ---------------- *)
+
+let test_damaged_ledger () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          let clean = read_file (ledger_path lab) in
+          let lines =
+            String.split_on_char '\n' clean
+            |> List.filter (fun l -> String.trim l <> "")
+          in
+          let first_line = List.hd lines in
+          let skewed =
+            (* same record, foreign schema version: must be rejected, not
+               decoded *)
+            Obs.Json.Obj
+              [
+                ("schema_version", Obs.Json.Int 99);
+                ("kind", Obs.Json.Str "run");
+              ]
+            |> Obs.Json.to_string
+          in
+          write_file (ledger_path lab)
+            (clean ^ first_line ^ "\n" ^ skewed ^ "\n{\"torn\": tru");
+          let store = load_ok lab in
+          Alcotest.(check int) "runs survive" 2 (List.length store.Lab.runs);
+          Alcotest.(check int) "duplicate counted" 1 store.Lab.duplicates;
+          Alcotest.(check int) "skewed rejected" 1 store.Lab.rejected;
+          Alcotest.(check int) "torn final line" 1 store.Lab.torn;
+          (* and the analysis still runs on what survived *)
+          let report = Lab.report store in
+          Alcotest.(check bool) "rankings non-empty" true
+            (report.Lab.rp_rankings <> [])))
+
+let test_torn_middle_rejected () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, _ = regression_pair src in
+          ignore (ingest_ok lab [ base ]);
+          let clean = read_file (ledger_path lab) in
+          write_file (ledger_path lab) ("{\"torn\": tru\n" ^ clean);
+          let store = load_ok lab in
+          (* damage *not* on the final line is rejection, not tearing *)
+          Alcotest.(check int) "rejected" 1 store.Lab.rejected;
+          Alcotest.(check int) "torn" 0 store.Lab.torn;
+          Alcotest.(check int) "runs survive" 1 (List.length store.Lab.runs)))
+
+let test_unrecognized_inputs_counted () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let junk = Filename.concat src "junk.json" in
+          write_file junk "{\"neither\": \"fish nor fowl\"}\n";
+          let notjson = Filename.concat src "not.json" in
+          write_file notjson "]]]\n";
+          let stats = ingest_ok lab [ junk; notjson ] in
+          Alcotest.(check int) "nothing ingested" 0 stats.Lab.ingested;
+          Alcotest.(check int) "both counted as errors" 2
+            (List.length stats.Lab.errors)))
+
+(* ---------------- the synthetic regression contract ---------------- *)
+
+let test_synthetic_regression () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          let report = Lab.report (load_ok lab) in
+          Alcotest.(check int) "exactly one regression finding" 1
+            (List.length report.Lab.rp_regressions);
+          let rg = List.hd report.Lab.rp_regressions in
+          Alcotest.(check string) "the regressing experiment" "fig12"
+            rg.Lab.rg_id;
+          Alcotest.(check string) "attributed to the solver" "solver"
+            rg.Lab.rg_bound;
+          Alcotest.(check int) "exactly one suggested_next" 1
+            (List.length report.Lab.rp_suggestions);
+          let sg = List.hd report.Lab.rp_suggestions in
+          Alcotest.(check string) "an A/B suggestion" "regression-ab"
+            sg.Lab.sg_kind;
+          let contains_fig12 s =
+            let n = String.length s in
+            let rec go i =
+              i + 5 <= n && (String.sub s i 5 = "fig12" || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "rationale names the experiment" true
+            (contains_fig12 sg.Lab.sg_rationale)))
+
+let test_steady_pair_no_findings () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let entries = [ ("fig4", 2.0, [ ("solver.verdict.sat", 10) ]) ] in
+          let a =
+            write_manifest src "a.json"
+              (bench_manifest ~git:"a" ~generated_at:1000.0 ~entries)
+          in
+          let b =
+            write_manifest src "b.json"
+              (bench_manifest ~git:"b" ~generated_at:2000.0 ~entries)
+          in
+          ignore (ingest_ok lab [ a; b ]);
+          let report = Lab.report (load_ok lab) in
+          Alcotest.(check int) "no regressions" 0
+            (List.length report.Lab.rp_regressions);
+          Alcotest.(check int) "no suggestions" 0
+            (List.length report.Lab.rp_suggestions)))
+
+let tests =
+  [
+    qtest test_ingest_idempotent;
+    qtest test_ingest_order_independent;
+    qtest test_rankings_stable;
+    Alcotest.test_case "damaged ledger records are counted, not fatal" `Quick
+      test_damaged_ledger;
+    Alcotest.test_case "mid-ledger damage is rejection, not tearing" `Quick
+      test_torn_middle_rejected;
+    Alcotest.test_case "unrecognized inputs are skipped with reasons" `Quick
+      test_unrecognized_inputs_counted;
+    Alcotest.test_case "synthetic regression: one finding, one suggestion"
+      `Quick test_synthetic_regression;
+    Alcotest.test_case "steady pair: no findings" `Quick
+      test_steady_pair_no_findings;
+  ]

@@ -4,6 +4,9 @@
 
      bench_diff [OPTIONS] BASE.json NEW.json
      bench_diff [OPTIONS] DIR          -- picks the two latest BENCH_*.json
+     bench_diff [OPTIONS] --against RUN NEW.json
+                                       -- baseline resolved from the lab
+                                          run ledger (see `castan lab')
 
    Options:
      --max-regress PCT   fail when any experiment slows down more than PCT
@@ -11,16 +14,20 @@
      --noise SECONDS     ignore deltas smaller than this many seconds
                          (default 0.05); guards quick experiments whose wall
                          time is dominated by scheduler jitter
+     --against RUN       baseline from the lab ledger instead of a file:
+                         `latest', `latest~K', a run-id prefix, or an
+                         ingested file's basename
+     --lab DIR           the lab directory (default bench/lab)
 
    Exit 0 when no experiment regressed beyond the gate, 1 when at least one
-   did, 2 on usage or file errors — or when the two manifests record
-   different worker-pool job counts ([jobs]), in which case their wall
-   times are not comparable and the gate is skipped with a warning. *)
+   did, 2 on usage or file errors — or when the two sides record different
+   worker-pool job counts ([jobs]), in which case their wall times are not
+   comparable and the gate is skipped with a warning. *)
 
 let usage_exit () =
   prerr_endline
     "usage: bench_diff [--max-regress PCT] [--noise SECONDS] \
-     (BASE.json NEW.json | DIR)";
+     [--lab DIR] [--against RUN] (BASE.json NEW.json | NEW.json | DIR)";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
@@ -88,9 +95,13 @@ let latest_two dir =
   | (_, _, newest) :: (_, _, previous) :: _ -> (previous, newest)
   | _ -> fail "%s: need at least two BENCH_*.json files to diff" dir
 
+let jobs_label = function Some j -> Printf.sprintf "-j %d" j | None -> "-j ?"
+
 let () =
   let max_regress = ref 20.0 in
   let noise = ref 0.05 in
+  let lab_dir = ref "bench/lab" in
+  let against = ref None in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -104,54 +115,74 @@ let () =
         | Some f when f >= 0.0 -> noise := f
         | _ -> usage_exit ());
         parse rest
+    | "--lab" :: dir :: rest ->
+        lab_dir := dir;
+        parse rest
+    | "--against" :: selector :: rest ->
+        against := Some selector;
+        parse rest
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage_exit ()
     | arg :: rest ->
         positional := !positional @ [ arg ];
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let base_path, new_path =
-    match !positional with
-    | [ dir ] when Sys.file_exists dir && Sys.is_directory dir ->
-        latest_two dir
-    | [ base; next ] -> (base, next)
-    | _ -> usage_exit ()
+  (* (label, jobs if known, (id, seconds) list) for each side.  With
+     --against, the baseline comes out of the lab ledger; both paths share
+     the same gate via Castan.Lab.render_diff. *)
+  let (base_label, base_jobs, base), (new_label, new_jobs, next) =
+    match !against with
+    | Some selector ->
+        let new_path =
+          match !positional with [ p ] -> p | _ -> usage_exit ()
+        in
+        let run =
+          match Castan.Lab.load ~dir:!lab_dir with
+          | Error e -> fail "bench_diff: %s" e
+          | Ok store -> (
+              match Castan.Lab.find_run store selector with
+              | Ok run -> run
+              | Error e -> fail "bench_diff: %s" e)
+        in
+        let base_jobs =
+          let j = run.Castan.Lab.identity.Castan.Manifest.jobs in
+          if j > 0 then Some j else None
+        in
+        ( ( Printf.sprintf "%s@%s"
+              (String.sub run.Castan.Lab.run_id 0 12)
+              run.Castan.Lab.file,
+            base_jobs,
+            Castan.Lab.timings run ),
+          (new_path, jobs_of new_path, timings new_path) )
+    | None ->
+        let base_path, new_path =
+          match !positional with
+          | [ dir ] when Sys.file_exists dir && Sys.is_directory dir ->
+              latest_two dir
+          | [ base; next ] -> (base, next)
+          | _ -> usage_exit ()
+        in
+        ( (base_path, jobs_of base_path, timings base_path),
+          (new_path, jobs_of new_path, timings new_path) )
   in
   (* Wall times measured at different job counts answer different questions;
-     refuse to gate on them rather than report a bogus regression. *)
-  (match (jobs_of base_path, jobs_of new_path) with
-  | Some jb, Some jn when jb <> jn ->
-      Printf.eprintf
-        "bench_diff: job counts differ (%s ran -j %d, %s ran -j %d); wall \
-         times are not comparable, skipping the regression gate\n"
-        base_path jb new_path jn;
-      exit 2
-  | _ -> ());
-  let base = timings base_path and next = timings new_path in
-  Printf.printf "bench_diff: %s -> %s (gate %.0f%%, noise %.3fs)\n" base_path
-    new_path !max_regress !noise;
-  let regressions = ref 0 in
-  List.iter
-    (fun (id, t1) ->
-      match List.assoc_opt id base with
-      | None -> Printf.printf "  %-24s %8.3fs  (new experiment)\n" id t1
-      | Some t0 ->
-          let delta = t1 -. t0 in
-          let pct = if t0 > 0.0 then 100.0 *. delta /. t0 else 0.0 in
-          let gated = delta > !noise && pct > !max_regress in
-          if gated then incr regressions;
-          Printf.printf "  %-24s %8.3fs -> %8.3fs  %+7.1f%%%s\n" id t0 t1 pct
-            (if gated then "  REGRESSION"
-             else if abs_float delta <= !noise then "  (noise)"
-             else ""))
-    next;
-  List.iter
-    (fun (id, _) ->
-      if not (List.mem_assoc id next) then
-        Printf.printf "  %-24s (dropped from new run)\n" id)
-    base;
-  if !regressions > 0 then begin
-    Printf.printf "%d experiment(s) regressed beyond %.0f%%\n" !regressions
+     refuse to gate on them rather than report a bogus regression.  The
+     refusal names both counts so the fix (re-run one side at the other's
+     -j) is obvious. *)
+  if base_jobs <> new_jobs && (base_jobs <> None || new_jobs <> None) then begin
+    Printf.eprintf
+      "bench_diff: job counts differ (%s ran %s, %s ran %s); wall times are \
+       not comparable, skipping the regression gate\n"
+      base_label (jobs_label base_jobs) new_label (jobs_label new_jobs);
+    exit 2
+  end;
+  let rendered, regressions =
+    Castan.Lab.render_diff ~noise:!noise ~max_regress:!max_regress
+      ~base_label ~next_label:new_label ~base ~next
+  in
+  print_string rendered;
+  if regressions > 0 then begin
+    Printf.printf "%d experiment(s) regressed beyond %.0f%%\n" regressions
       !max_regress;
     exit 1
   end

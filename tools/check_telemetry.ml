@@ -30,6 +30,12 @@
      check_telemetry journal-eq A B     -- two journal directories converged
                                            on the same cell fingerprints
                                            (the crash/resume contract)
+     check_telemetry lab REPORT.json [MIN_REGRESSIONS [MIN_SUGGESTED]]
+                                        -- `castan lab report --json` output:
+                                           schema, rankings, regression
+                                           findings and suggested_next are
+                                           well-formed (and at least the
+                                           given minimums are present)
 
    Exit 0 when the file is well formed, 1 (with a diagnostic on stderr) when
    it is not.  Uses the same Obs.Json parser the tests use, so "well formed"
@@ -490,6 +496,88 @@ let check_journal_eq dir_a dir_b =
   Printf.printf "journal-eq: %s and %s agree on %d cell(s)\n" dir_a dir_b
     (List.length a)
 
+(* `check_telemetry lab REPORT.json [MIN_REGRESSIONS [MIN_SUGGESTED]]`: a
+   `castan lab report --json` file.  Structural: schema version this build
+   knows, a ledger summary, a non-empty wall-time ranking whose entries
+   carry the full stat record, well-formed regression findings (each
+   pointing at the run pair it came from) and suggested_next entries (each
+   with a runnable action and a rationale).  With minimums given, the
+   report must contain at least that many regressions / suggestions — the
+   @lab-smoke leg pins the synthetic-regression fixtures this way. *)
+let check_lab path mins =
+  let obj =
+    match Obs.Json.parse (read_file path) with
+    | Error e -> fail "%s: not JSON: %s" path e
+    | Ok o -> o
+  in
+  (match Obs.Json.member "schema_version" obj with
+  | Some (Obs.Json.Int v) when v = Castan.Lab.report_schema_version -> ()
+  | Some (Obs.Json.Int v) ->
+      fail "%s: report schema_version %d (this build reads %d)" path v
+        Castan.Lab.report_schema_version
+  | _ -> fail "%s: no integer schema_version" path);
+  (match get_str obj "kind" with
+  | Some "lab-report" -> ()
+  | _ -> fail "%s: kind is not \"lab-report\"" path);
+  (match Obs.Json.member "ledger" obj with
+  | Some ledger -> (
+      match Obs.Json.member "runs" ledger with
+      | Some (Obs.Json.Int n) when n > 0 -> ()
+      | Some (Obs.Json.Int _) -> fail "%s: ledger.runs is 0" path
+      | _ -> fail "%s: ledger.runs missing" path)
+  | None -> fail "%s: no ledger section" path);
+  let list_member parent key =
+    match Obs.Json.member key parent with
+    | Some (Obs.Json.List l) -> l
+    | _ -> fail "%s: %s is not a list" path key
+  in
+  let require_fields what fields entry =
+    List.iter
+      (fun f ->
+        if Obs.Json.member f entry = None then
+          fail "%s: a %s entry lacks %s" path what f)
+      fields
+  in
+  (match Obs.Json.member "rankings" obj with
+  | Some rankings ->
+      let by_wall = list_member rankings "by_wall_time" in
+      if by_wall = [] then fail "%s: rankings.by_wall_time is empty" path;
+      List.iter
+        (require_fields "ranking"
+           [ "id"; "runs"; "latest_seconds"; "best_seconds"; "worst_seconds";
+             "mean_seconds"; "solver_queries"; "cache_hit_rate"; "bound" ])
+        by_wall;
+      ignore (list_member rankings "by_solver_queries");
+      ignore (list_member rankings "by_cache_hit_rate")
+  | None -> fail "%s: no rankings section" path);
+  let regressions = list_member obj "regressions" in
+  List.iter
+    (require_fields "regression"
+       [ "id"; "jobs"; "streak"; "base_seconds"; "last_seconds"; "pct";
+         "bound"; "from_run"; "to_run" ])
+    regressions;
+  let suggested = list_member obj "suggested_next" in
+  List.iter
+    (fun entry ->
+      require_fields "suggested_next" [ "kind"; "action"; "rationale" ] entry;
+      match get_str entry "rationale" with
+      | Some r when String.length r > 10 -> ()
+      | _ -> fail "%s: a suggested_next entry has no real rationale" path)
+    suggested;
+  ignore (list_member obj "failure_patterns");
+  (match mins with
+  | None -> ()
+  | Some (min_regressions, min_suggested) ->
+      if List.length regressions < min_regressions then
+        fail "%s: %d regression finding(s), expected >= %d" path
+          (List.length regressions) min_regressions;
+      if List.length suggested < min_suggested then
+        fail "%s: %d suggested_next entries, expected >= %d" path
+          (List.length suggested) min_suggested);
+  Printf.printf
+    "lab: %s well-formed (%d regression(s), %d suggestion(s))\n" path
+    (List.length regressions) (List.length suggested)
+
 let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> check_trace path
@@ -510,6 +598,15 @@ let () =
       check_journal dir (Some manifest)
         (Some (int_of_string ew, int_of_string er))
   | [| _; "journal-eq"; a; b |] -> check_journal_eq a b
+  | [| _; "lab"; path |] -> check_lab path None
+  | [| _; "lab"; path; min_r |] -> (
+      match int_of_string_opt min_r with
+      | Some r when r >= 0 -> check_lab path (Some (r, 0))
+      | _ -> fail "lab: MIN_REGRESSIONS must be a non-negative integer")
+  | [| _; "lab"; path; min_r; min_s |] -> (
+      match (int_of_string_opt min_r, int_of_string_opt min_s) with
+      | Some r, Some s when r >= 0 && s >= 0 -> check_lab path (Some (r, s))
+      | _ -> fail "lab: minimums must be non-negative integers")
   | _ ->
       fail
         "usage: check_telemetry {trace|metrics|cache|collapsed} FILE\n\
@@ -517,4 +614,6 @@ let () =
         \       check_telemetry pool FILE.json [MIN_TASKS]\n\
         \       check_telemetry pool-eq A.json B.json\n\
         \       check_telemetry journal DIR [MANIFEST [WRITTEN REUSED]]\n\
-        \       check_telemetry journal-eq DIR_A DIR_B"
+        \       check_telemetry journal-eq DIR_A DIR_B\n\
+        \       check_telemetry lab REPORT.json [MIN_REGRESSIONS \
+         [MIN_SUGGESTED]]"
