@@ -623,17 +623,45 @@ let lab_cmd =
         $ next_sel)
   in
   let runs_cmd =
-    let run dir =
+    let experiment_filter =
+      Arg.(value & opt (some string) None & info [ "experiment" ]
+             ~docv:"PREFIX"
+             ~doc:"Only runs containing an experiment whose id starts with \
+                   PREFIX.")
+    in
+    let since_filter =
+      Arg.(value & opt (some string) None & info [ "since" ] ~docv:"RUNID"
+             ~doc:"Only runs strictly newer (in ledger content order) than \
+                   the one RUNID selects ($(b,latest), $(b,latest~K), a \
+                   run-id prefix, or a basename).")
+    in
+    let verdict_filter =
+      Arg.(value & opt (some string) None & info [ "verdict" ]
+             ~docv:"OUTCOME"
+             ~doc:"Only runs referenced by a verdict with this outcome \
+                   ($(b,held), $(b,refuted) or $(b,inconclusive)).")
+    in
+    let run dir experiment since verdict =
       let store = load_or_die dir in
+      let runs =
+        match Castan.Lab.filter_runs ?experiment ?since ?verdict store with
+        | Ok runs -> runs
+        | Error e ->
+            Printf.eprintf "castan lab: %s\n%!" e;
+            exit 1
+      in
       Printf.printf
-        "%d run(s) in %s (%d duplicate, %d rejected, %d torn record(s) \
-         skipped)\n"
+        "%d of %d run(s) in %s (%d verdict(s); %d duplicate, %d rejected, \
+         %d torn record(s) skipped)\n"
+        (List.length runs)
         (List.length store.Castan.Lab.runs)
-        dir store.Castan.Lab.duplicates store.Castan.Lab.rejected
+        dir
+        (List.length store.Castan.Lab.verdicts)
+        store.Castan.Lab.duplicates store.Castan.Lab.rejected
         store.Castan.Lab.torn;
       List.iter
         (fun (r : Castan.Lab.run) ->
-          Printf.printf "  %s  %-8s -j%-2s %8.1fs  %2d entries  %s\n"
+          Printf.printf "  %s  %-8s -j%-2s %8.1fs  %2d entries  %s%s\n"
             (String.sub r.Castan.Lab.run_id 0 12)
             (Castan.Lab.source_name r.Castan.Lab.source)
             (if r.Castan.Lab.identity.Castan.Manifest.jobs > 0 then
@@ -641,18 +669,134 @@ let lab_cmd =
              else "?")
             r.Castan.Lab.total_seconds
             (List.length r.Castan.Lab.entries)
-            r.Castan.Lab.file)
-        (List.rev store.Castan.Lab.runs)
+            r.Castan.Lab.file
+            (if r.Castan.Lab.role = "hypothesis" then
+               Printf.sprintf "  [arm %s]" r.Castan.Lab.arm
+             else ""))
+        (List.rev runs)
     in
     Cmd.v
-      (Cmd.info "runs" ~doc:"List the ledger's runs, newest first")
-      Term.(const run $ lab_dir_arg)
+      (Cmd.info "runs"
+         ~doc:"List the ledger's runs, newest first (filterable by \
+               experiment prefix, recency and verdict outcome)")
+      Term.(
+        const run $ lab_dir_arg $ experiment_filter $ since_filter
+        $ verdict_filter)
+  in
+  (* run-next / loop: execute the top suggestion(s) and append verdicts.
+     Exit codes: 0 = every verdict held (or nothing to do), 1 = a verdict
+     was refuted or the final report still flags a regression, 2 =
+     infrastructure (unreadable ledger, unrunnable action). *)
+  let follow_arg =
+    Arg.(value & flag & info [ "follow" ]
+           ~doc:"Echo each progress event (action started, artifact \
+                 ingested, verdict) as a human line while the loop runs.")
+  in
+  let with_events ~dir ~follow f =
+    let sink =
+      Obs.Events.open_sink
+        ?echo:
+          (if follow then
+             Some (fun e -> Printf.printf "%s\n%!" (Obs.Events.render e))
+           else None)
+        (Filename.concat dir "events.jsonl")
+    in
+    Fun.protect
+      ~finally:(fun () -> Obs.Events.close sink)
+      (fun () ->
+        f (fun ~name fields -> ignore (Obs.Events.emit sink ~name fields)))
+  in
+  let finish_hypotheses ~dir ~noise ~max_regress ~refuted =
+    let store = load_or_die dir in
+    let report = Castan.Lab.report ~noise ~max_regress store in
+    if refuted || report.Castan.Lab.rp_regressions <> [] then exit 1
+  in
+  let run_next_cmd =
+    let run dir noise max_regress follow =
+      match
+        with_events ~dir ~follow (fun emit ->
+            Castan.Lab.run_next ~noise ~max_regress ~emit ~dir
+              ~castan:Sys.executable_name ())
+      with
+      | Error e ->
+          Printf.eprintf "castan lab: %s\n%!" e;
+          exit 2
+      | Ok o ->
+          Printf.printf "%s\n" o.Castan.Lab.xo_message;
+          finish_hypotheses ~dir ~noise ~max_regress
+            ~refuted:
+              (match o.Castan.Lab.xo_verdict with
+              | Some v -> v.Castan.Lab.vd_outcome = Castan.Lab.Refuted
+              | None -> false)
+    in
+    Cmd.v
+      (Cmd.info "run-next"
+         ~doc:"Execute the top suggested_next action as subprocess arms, \
+               re-ingest the artifacts, and append a held/refuted/\
+               inconclusive verdict to the ledger")
+      Term.(
+        const run $ lab_dir_arg $ noise_gate_arg $ max_regress_arg
+        $ follow_arg)
+  in
+  let loop_cmd =
+    let budget_runs =
+      Arg.(value & opt (some int) None & info [ "budget-runs" ] ~docv:"N"
+             ~doc:"Stop once N subprocess runs have been performed (checked \
+                   between actions; the last A/B may overshoot by one arm).")
+    in
+    let deadline_s =
+      Arg.(value & opt (some float) None & info [ "deadline" ]
+             ~docv:"SECONDS"
+             ~doc:"Stop after this much wall time; an action interrupted by \
+                   the deadline records an inconclusive verdict.")
+    in
+    let run dir noise max_regress follow budget_runs deadline_s =
+      let deadline =
+        match deadline_s with
+        | Some s -> Util.Resilience.deadline_in s
+        | None -> Util.Resilience.no_deadline
+      in
+      match
+        with_events ~dir ~follow (fun emit ->
+            Castan.Lab.loop ~noise ~max_regress
+              ?budget_runs ~deadline ~emit ~dir
+              ~castan:Sys.executable_name ())
+      with
+      | Error e ->
+          Printf.eprintf "castan lab: %s\n%!" e;
+          exit 2
+      | Ok stats ->
+          List.iter
+            (fun (v : Castan.Lab.verdict) ->
+              Printf.printf "  %-12s %s — %s\n"
+                (Castan.Lab.outcome_name v.Castan.Lab.vd_outcome)
+                v.Castan.Lab.vd_hypothesis v.Castan.Lab.vd_detail)
+            stats.Castan.Lab.lo_verdicts;
+          Printf.printf
+            "loop: %d action(s), %d subprocess run(s), stopped on %s\n"
+            stats.Castan.Lab.lo_iterations
+            stats.Castan.Lab.lo_runs_performed stats.Castan.Lab.lo_stop;
+          finish_hypotheses ~dir ~noise ~max_regress
+            ~refuted:
+              (List.exists
+                 (fun (v : Castan.Lab.verdict) ->
+                   v.Castan.Lab.vd_outcome = Castan.Lab.Refuted)
+                 stats.Castan.Lab.lo_verdicts)
+    in
+    Cmd.v
+      (Cmd.info "loop"
+         ~doc:"Iterate run-next until the suggestion queue is empty or a \
+               --budget-runs/--deadline cap trips")
+      Term.(
+        const run $ lab_dir_arg $ noise_gate_arg $ max_regress_arg
+        $ follow_arg $ budget_runs $ deadline_s)
   in
   Cmd.group
     (Cmd.info "lab"
        ~doc:"The performance lab: run ledger, rankings, regression triage, \
-             suggested-next experiments")
-    [ ingest_cmd; report_cmd; diff_cmd; runs_cmd ]
+             suggested-next experiments and the hypothesis loop that \
+             executes them")
+    [ ingest_cmd; report_cmd; diff_cmd; runs_cmd; run_next_cmd; loop_cmd ]
 
 (* ---------------- experiment ---------------- *)
 

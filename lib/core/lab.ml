@@ -37,18 +37,59 @@ type run = {
   pool_tasks : int;
   pool_busy_ns : int;
   entries : entry list;
+  (* Hypothesis-arm provenance.  Evidence runs (everything a user ingests)
+     carry role "evidence" and empty hypothesis/arm; runs produced by the
+     run-next engine carry role "hypothesis" plus the hypothesis key and
+     arm name, and are excluded from rankings/regressions/failures so an
+     A/B arm can never masquerade as a fresh regression and re-trigger
+     the very suggestion it is testing. *)
+  role : string;
+  hypothesis : string;
+  arm : string;
+}
+
+type outcome = Held | Refuted | Inconclusive
+
+let outcome_name = function
+  | Held -> "held"
+  | Refuted -> "refuted"
+  | Inconclusive -> "inconclusive"
+
+let outcome_of_name = function
+  | "held" -> Ok Held
+  | "refuted" -> Ok Refuted
+  | "inconclusive" -> Ok Inconclusive
+  | s -> Error (Printf.sprintf "unknown outcome %S" s)
+
+type verdict = {
+  vd_id : string;
+  vd_hypothesis : string;
+  vd_kind : string;
+  vd_experiment : string option;
+  vd_outcome : outcome;
+  vd_base_run : string;
+  vd_test_run : string;
+  vd_base_seconds : float;
+  vd_test_seconds : float;
+  vd_delta_pct : float;
+  vd_noise : float;
+  vd_max_regress : float;
+  vd_runs_performed : int;
+  vd_generated_at : float;
+  vd_detail : string;
 }
 
 type store = {
   dir : string;
   runs : run list;
+  verdicts : verdict list;
   duplicates : int;
   rejected : int;
   torn : int;
 }
 
 let ledger_schema_version = 1
-let report_schema_version = 1
+let report_schema_version = 2
 
 (* The newest bench --json schema this build can normalize. *)
 let max_bench_schema = 3
@@ -133,6 +174,17 @@ let run_json ?(for_id = false) (r : run) =
               ("busy_ns", Obs.Json.Int r.pool_busy_ns);
             ] );
         ("entries", Obs.Json.List (List.map entry_json r.entries));
+      ]
+    @
+    (* Evidence runs omit the role triple entirely, so ledgers written
+       before hypothesis runs existed re-encode byte-identically (and keep
+       their run_ids). *)
+    if r.role = "evidence" then []
+    else
+      [
+        ("role", Obs.Json.Str r.role);
+        ("hypothesis", Obs.Json.Str r.hypothesis);
+        ("arm", Obs.Json.Str r.arm);
       ])
 
 let with_run_id r =
@@ -194,11 +246,120 @@ let run_of_json j =
                           pool_tasks;
                           pool_busy_ns;
                           entries;
+                          role =
+                            Option.value ~default:"evidence"
+                              (get_str j "role");
+                          hypothesis =
+                            Option.value ~default:"" (get_str j "hypothesis");
+                          arm = Option.value ~default:"" (get_str j "arm");
                         }
                   | Error e -> Error e)
               | _ -> Error "run record without an entries list")
           | _ -> Error "run record with missing or mistyped fields")
       | _ -> Error "not a run record")
+  | Some v ->
+      Error
+        (Printf.sprintf "ledger schema_version %d (this build reads %d)" v
+           ledger_schema_version)
+  | None -> Error "record without schema_version"
+
+(* Verdict records live in the same ledger file as runs, one JSON object
+   per line, kind "verdict".  [for_id] blanks the id so the digest is a
+   pure function of the verdict's content. *)
+let verdict_json ?(for_id = false) (v : verdict) =
+  Obs.Json.Obj
+    ([
+       ("schema_version", Obs.Json.Int ledger_schema_version);
+       ("kind", Obs.Json.Str "verdict");
+     ]
+    @ (if for_id then [] else [ ("verdict_id", Obs.Json.Str v.vd_id) ])
+    @ [
+        ("hypothesis", Obs.Json.Str v.vd_hypothesis);
+        ("suggestion_kind", Obs.Json.Str v.vd_kind);
+      ]
+    @ (match v.vd_experiment with
+      | Some e -> [ ("experiment", Obs.Json.Str e) ]
+      | None -> [])
+    @ [
+        ("outcome", Obs.Json.Str (outcome_name v.vd_outcome));
+        ("base_run", Obs.Json.Str v.vd_base_run);
+        ("test_run", Obs.Json.Str v.vd_test_run);
+        ("base_seconds", Obs.Json.Float v.vd_base_seconds);
+        ("test_seconds", Obs.Json.Float v.vd_test_seconds);
+        ("delta_pct", Obs.Json.Float v.vd_delta_pct);
+        ("noise", Obs.Json.Float v.vd_noise);
+        ("max_regress", Obs.Json.Float v.vd_max_regress);
+        ("runs_performed", Obs.Json.Int v.vd_runs_performed);
+        ("generated_at", Obs.Json.Float v.vd_generated_at);
+        ("detail", Obs.Json.Str v.vd_detail);
+      ])
+
+let with_verdict_id v =
+  let digest =
+    Digest.to_hex
+      (Digest.string (Obs.Json.to_string (verdict_json ~for_id:true v)))
+  in
+  { v with vd_id = digest }
+
+let verdict_of_json j =
+  match get_int j "schema_version" with
+  | Some v when v = ledger_schema_version -> (
+      match get_str j "kind" with
+      | Some "verdict" -> (
+          match
+            ( get_str j "verdict_id",
+              get_str j "hypothesis",
+              get_str j "suggestion_kind",
+              Option.bind (get_str j "outcome") (fun s ->
+                  Result.to_option (outcome_of_name s)),
+              get_str j "base_run",
+              get_str j "test_run",
+              get_str j "detail" )
+          with
+          | ( Some vd_id,
+              Some vd_hypothesis,
+              Some vd_kind,
+              Some vd_outcome,
+              Some vd_base_run,
+              Some vd_test_run,
+              Some vd_detail ) -> (
+              match
+                ( get_num j "base_seconds",
+                  get_num j "test_seconds",
+                  get_num j "delta_pct",
+                  get_num j "noise",
+                  get_num j "max_regress",
+                  get_int j "runs_performed",
+                  get_num j "generated_at" )
+              with
+              | ( Some vd_base_seconds,
+                  Some vd_test_seconds,
+                  Some vd_delta_pct,
+                  Some vd_noise,
+                  Some vd_max_regress,
+                  Some vd_runs_performed,
+                  Some vd_generated_at ) ->
+                  Ok
+                    {
+                      vd_id;
+                      vd_hypothesis;
+                      vd_kind;
+                      vd_experiment = get_str j "experiment";
+                      vd_outcome;
+                      vd_base_run;
+                      vd_test_run;
+                      vd_base_seconds;
+                      vd_test_seconds;
+                      vd_delta_pct;
+                      vd_noise;
+                      vd_max_regress;
+                      vd_runs_performed;
+                      vd_generated_at;
+                      vd_detail;
+                    }
+              | _ -> Error "verdict record with missing numeric fields")
+          | _ -> Error "verdict record with missing or mistyped fields")
+      | _ -> Error "not a verdict record")
   | Some v ->
       Error
         (Printf.sprintf "ledger schema_version %d (this build reads %d)" v
@@ -286,7 +447,10 @@ let normalize_bench ~file j =
                     Option.bind (member "identity" ej) (fun i ->
                         Result.to_option (Manifest.identity_of_json i))
                   in
-                  Some { id; seconds; counters; identity; status = "ok" }
+                  let status =
+                    Option.value ~default:"ok" (get_str ej "status")
+                  in
+                  Some { id; seconds; counters; identity; status }
               | _ -> None)
             timed
         in
@@ -310,6 +474,13 @@ let normalize_bench ~file j =
                  pool_tasks;
                  pool_busy_ns;
                  entries;
+                 (* Artifacts synthesized by the run-next engine mark
+                    themselves; everything else is evidence. *)
+                 role =
+                   Option.value ~default:"evidence" (get_str j "lab_role");
+                 hypothesis =
+                   Option.value ~default:"" (get_str j "lab_hypothesis");
+                 arm = Option.value ~default:"" (get_str j "lab_arm");
                })
     | _ -> Error "experiments_timed is not a list"
 
@@ -349,6 +520,9 @@ let normalize_manifest ~file j =
          pool_busy_ns;
          entries =
            [ { id; seconds = 0.0; counters; identity = None; status = "ok" } ];
+         role = "evidence";
+         hypothesis = "";
+         arm = "";
        })
 
 let normalize_profile ~file j =
@@ -385,12 +559,15 @@ let normalize_profile ~file j =
              pool_busy_ns = 0;
              entries =
                [ { id; seconds = 0.0; counters; identity = None; status = "ok" } ];
+             role = "evidence";
+             hypothesis = "";
+             arm = "";
            })
   | _ -> Error "profile JSON without total_cycles/blocks"
 
 let normalize ~file j =
   match get_str j "kind" with
-  | Some ("run" | "lab-report") ->
+  | Some ("run" | "lab-report" | "verdict" | "event") ->
       Error "already a lab record (ingest the original artifact instead)"
   | _ -> (
       match member "experiments_timed" j with
@@ -483,6 +660,9 @@ let normalize_journal ~dir =
                  pool_tasks = 0;
                  pool_busy_ns = 0;
                  entries;
+                 role = "evidence";
+                 hypothesis = "";
+                 arm = "";
                }))
 
 (* ------------------------------------------------------------------ *)
@@ -535,7 +715,8 @@ let rec mkdir_p dir =
 let load ~dir =
   let path = ledger_path dir in
   if not (Sys.file_exists path) then
-    Ok { dir; runs = []; duplicates = 0; rejected = 0; torn = 0 }
+    Ok { dir; runs = []; verdicts = []; duplicates = 0; rejected = 0;
+         torn = 0 }
   else
     match read_file path with
     | Error m -> Error (Printf.sprintf "cannot read %s: %s" path m)
@@ -546,7 +727,8 @@ let load ~dir =
         in
         let n = List.length lines in
         let seen = Hashtbl.create 64 in
-        let runs = ref [] in
+        let vseen = Hashtbl.create 16 in
+        let runs = ref [] and verdicts = ref [] in
         let duplicates = ref 0 and rejected = ref 0 and torn = ref 0 in
         List.iteri
           (fun i line ->
@@ -554,14 +736,25 @@ let load ~dir =
             | Error _ when i = n - 1 -> incr torn
             | Error _ -> incr rejected
             | Ok j -> (
-                match run_of_json j with
-                | Error _ -> incr rejected
-                | Ok r ->
-                    if Hashtbl.mem seen r.run_id then incr duplicates
-                    else begin
-                      Hashtbl.add seen r.run_id ();
-                      runs := r :: !runs
-                    end))
+                match get_str j "kind" with
+                | Some "verdict" -> (
+                    match verdict_of_json j with
+                    | Error _ -> incr rejected
+                    | Ok v ->
+                        if Hashtbl.mem vseen v.vd_id then incr duplicates
+                        else begin
+                          Hashtbl.add vseen v.vd_id ();
+                          verdicts := v :: !verdicts
+                        end)
+                | _ -> (
+                    match run_of_json j with
+                    | Error _ -> incr rejected
+                    | Ok r ->
+                        if Hashtbl.mem seen r.run_id then incr duplicates
+                        else begin
+                          Hashtbl.add seen r.run_id ();
+                          runs := r :: !runs
+                        end)))
           lines;
         let runs =
           List.sort
@@ -569,8 +762,14 @@ let load ~dir =
               compare (a.generated_at, a.run_id) (b.generated_at, b.run_id))
             (List.rev !runs)
         in
-        Ok { dir; runs; duplicates = !duplicates; rejected = !rejected;
-             torn = !torn }
+        let verdicts =
+          List.sort
+            (fun a b ->
+              compare (a.vd_generated_at, a.vd_id) (b.vd_generated_at, b.vd_id))
+            (List.rev !verdicts)
+        in
+        Ok { dir; runs; verdicts; duplicates = !duplicates;
+             rejected = !rejected; torn = !torn }
 
 type ingest_stats = {
   ingested : int;
@@ -606,6 +805,24 @@ let ingest ~dir paths =
         { ingested = !ingested; duplicate = !duplicate;
           errors = List.rev !errors }
 
+(* Appends one verdict record unless an identical one (same content id)
+   is already present — the dedupe that makes re-running an already
+   resolved action a no-op on the ledger file. *)
+let append_verdict ~dir v =
+  mkdir_p dir;
+  match load ~dir with
+  | Error e -> Error e
+  | Ok store ->
+      if List.exists (fun o -> o.vd_id = v.vd_id) store.verdicts then
+        Ok false
+      else begin
+        let appender = Util.Durable.append_open (ledger_path dir) in
+        Util.Durable.append_line appender
+          (Obs.Json.to_string (verdict_json v));
+        Util.Durable.append_close appender;
+        Ok true
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Lookup and diffing                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -635,8 +852,14 @@ let find_run store selector =
     with
     | Some k when k >= 0 && k < List.length newest_first ->
         Ok (List.nth newest_first k)
-    | Some _ -> no_match ()
-    | None -> Error (Printf.sprintf "bad selector %S" selector)
+    | Some k when k >= 0 ->
+        Error
+          (Printf.sprintf
+             "%S is out of range: the ledger has %d run(s) (deepest \
+              selector is latest~%d)"
+             selector (List.length newest_first)
+             (List.length newest_first - 1))
+    | Some _ | None -> Error (Printf.sprintf "bad selector %S" selector)
   else
     let prefix_matches =
       List.filter
@@ -656,6 +879,61 @@ let find_run store selector =
         match List.filter (fun r -> r.file = base) newest_first with
         | r :: _ -> Ok r
         | [] -> no_match ())
+
+(* `lab runs` filters: each is a pure function of the ledger contents, so
+   the filtered list is independent of ingest order (the store is already
+   sorted by content).  All given filters must hold (conjunction). *)
+let filter_runs ?experiment ?since ?verdict store =
+  let starts_with ~prefix s =
+    String.length prefix <= String.length s
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let by_experiment runs =
+    match experiment with
+    | None -> Ok runs
+    | Some prefix ->
+        Ok
+          (List.filter
+             (fun r ->
+               List.exists (fun e -> starts_with ~prefix e.id) r.entries)
+             runs)
+  in
+  let by_since runs =
+    match since with
+    | None -> Ok runs
+    | Some selector -> (
+        match find_run store selector with
+        | Error e -> Error e
+        | Ok pivot ->
+            Ok
+              (List.filter
+                 (fun r ->
+                   compare (r.generated_at, r.run_id)
+                     (pivot.generated_at, pivot.run_id)
+                   > 0)
+                 runs))
+  in
+  let by_verdict runs =
+    match verdict with
+    | None -> Ok runs
+    | Some name -> (
+        match outcome_of_name name with
+        | Error e -> Error e
+        | Ok outcome ->
+            let referenced = Hashtbl.create 16 in
+            List.iter
+              (fun v ->
+                if v.vd_outcome = outcome then begin
+                  if v.vd_base_run <> "" then
+                    Hashtbl.replace referenced v.vd_base_run ();
+                  if v.vd_test_run <> "" then
+                    Hashtbl.replace referenced v.vd_test_run ()
+                end)
+              store.verdicts;
+            Ok (List.filter (fun r -> Hashtbl.mem referenced r.run_id) runs))
+  in
+  Result.bind (by_experiment store.runs) (fun runs ->
+      Result.bind (by_since runs) by_verdict)
 
 let timings run =
   List.filter_map
@@ -781,6 +1059,16 @@ type suggestion = {
   sg_experiment : string option;
   sg_action : string;
   sg_rationale : string;
+  sg_hypothesis : string;
+}
+
+type hypothesis = {
+  hy_key : string;
+  hy_kind : string;
+  hy_experiment : string option;
+  hy_status : string;
+  hy_verdicts : int;
+  hy_streak : int;
 }
 
 type report = {
@@ -789,11 +1077,23 @@ type report = {
   rp_regressions : regression list;
   rp_failures : (string * int) list;
   rp_suggestions : suggestion list;
+  rp_hypotheses : hypothesis list;
 }
+
+(* The hypothesis key names what a suggestion proposes to test, pinned to
+   the evidence that raised it: a verdict recorded against the key resolves
+   exactly this finding, and new evidence (a different to_run, a different
+   baseline pair) opens a fresh key. *)
+let regression_hypothesis rg =
+  Printf.sprintf "regression-ab|%s|%s" rg.rg_id rg.rg_to_run
 
 (* Experiment rankings across history: one record per experiment id that
    carries wall time anywhere, aggregated over wall-bearing runs in ledger
    (content) order; "latest" fields come from the newest run. *)
+(* The analysis pass reads evidence only: hypothesis-arm runs answer a
+   question the verdict records, they are not part of history. *)
+let evidence store = List.filter (fun r -> r.role = "evidence") store.runs
+
 let rankings store =
   let tbl : (string, (run * entry) list) Hashtbl.t = Hashtbl.create 64 in
   let ids = ref [] in
@@ -808,7 +1108,7 @@ let rankings store =
                 ((r, e) :: Option.value ~default:[] (Hashtbl.find_opt tbl e.id))
             end)
           r.entries)
-    store.runs;
+    (evidence store);
   let records =
     List.rev_map
       (fun id ->
@@ -852,7 +1152,7 @@ let regressions ~noise ~max_regress store =
         Hashtbl.replace groups k
           (r :: Option.value ~default:[] (Hashtbl.find_opt groups k))
       end)
-    store.runs;
+    (evidence store);
   let findings = ref [] in
   List.iter
     (fun key ->
@@ -936,7 +1236,7 @@ let failure_patterns store =
           if counter "symbex.degraded_runs" e.counters > 0 then
             note (Printf.sprintf "%s degraded" e.id) r.run_id)
         r.entries)
-    store.runs;
+    (evidence store);
   List.rev_map
     (fun p -> (p, List.length (Hashtbl.find tbl p)))
     !order
@@ -945,6 +1245,7 @@ let failure_patterns store =
 let suggestions ~regressions:regs ~failures store =
   let of_regression rg =
     let id = rg.rg_id in
+    let key = regression_hypothesis rg in
     let streak =
       if rg.rg_streak > 1 then
         Printf.sprintf "regressed %d runs straight" rg.rg_streak
@@ -954,6 +1255,7 @@ let suggestions ~regressions:regs ~failures store =
     | "solver" ->
         {
           sg_kind = "regression-ab";
+          sg_hypothesis = key;
           sg_experiment = Some id;
           sg_action =
             Printf.sprintf
@@ -969,6 +1271,7 @@ let suggestions ~regressions:regs ~failures store =
     | "cache-model" ->
         {
           sg_kind = "regression-ab";
+          sg_hypothesis = key;
           sg_experiment = Some id;
           sg_action =
             Printf.sprintf
@@ -983,6 +1286,7 @@ let suggestions ~regressions:regs ~failures store =
     | "symbex" ->
         {
           sg_kind = "regression-ab";
+          sg_hypothesis = key;
           sg_experiment = Some id;
           sg_action =
             Printf.sprintf
@@ -997,6 +1301,7 @@ let suggestions ~regressions:regs ~failures store =
     | _ ->
         {
           sg_kind = "regression-ab";
+          sg_hypothesis = key;
           sg_experiment = Some id;
           sg_action =
             Printf.sprintf "castan experiment %s --metrics recheck-%s.json"
@@ -1012,7 +1317,7 @@ let suggestions ~regressions:regs ~failures store =
      the same code and config whose speedup never materialized, or a
      ledger that has never seen a multicore run at all. *)
   let jobs_gap () =
-    let wall = List.filter (fun r -> r.total_seconds > 0.0) store.runs in
+    let wall = List.filter (fun r -> r.total_seconds > 0.0) (evidence store) in
     let pair_key r =
       Printf.sprintf "%s|%s|%d|%s" r.identity.Manifest.git
         r.identity.Manifest.config_digest r.identity.Manifest.seed
@@ -1058,6 +1363,9 @@ let suggestions ~regressions:regs ~failures store =
                 Some
                   {
                     sg_kind = "jobs-sweep";
+                    sg_hypothesis =
+                      Printf.sprintf "jobs-sweep|%s|%s" (short a.run_id)
+                        (short b.run_id);
                     sg_experiment = None;
                     sg_action =
                       Printf.sprintf
@@ -1086,6 +1394,7 @@ let suggestions ~regressions:regs ~failures store =
       [
         {
           sg_kind = "jobs-sweep";
+          sg_hypothesis = "jobs-sweep|serial-only";
           sg_experiment = None;
           sg_action = "bench/main.exe --quick -j 4 --json bench/baselines/";
           sg_rationale =
@@ -1110,6 +1419,7 @@ let suggestions ~regressions:regs ~failures store =
           Some
             {
               sg_kind = "failure";
+              sg_hypothesis = Printf.sprintf "failure|%s" pattern;
               sg_experiment = Some id;
               sg_action =
                 Printf.sprintf
@@ -1126,6 +1436,7 @@ let suggestions ~regressions:regs ~failures store =
     [
       {
         sg_kind = "ingest";
+        sg_hypothesis = "";
         sg_experiment = None;
         sg_action = "castan lab ingest bench/baselines";
         sg_rationale =
@@ -1139,11 +1450,113 @@ let report ?(noise = 0.05) ?(max_regress = 20.0) store =
   let rp_rankings = rankings store in
   let rp_regressions = regressions ~noise ~max_regress store in
   let rp_failures = failure_patterns store in
-  let rp_suggestions =
+  let raw =
     suggestions ~regressions:rp_regressions ~failures:rp_failures store
   in
+  (* Verdicts per hypothesis key, oldest first (store.verdicts is already
+     sorted by content time). *)
+  let by_key : (string, verdict list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace by_key v.vd_hypothesis
+        (v :: Option.value ~default:[] (Hashtbl.find_opt by_key v.vd_hypothesis)))
+    store.verdicts;
+  let verdicts_for key =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt by_key key))
+  in
+  let latest_outcome key =
+    match Hashtbl.find_opt by_key key with
+    | Some (v :: _) -> Some v.vd_outcome
+    | _ -> None
+  in
+  (* Arm evidence already in the ledger for a key — the satellite-1 dedupe:
+     the action ran (possibly in a crashed prior invocation), so the report
+     must not re-emit the same command verbatim. *)
+  let evidence_ready key =
+    key <> ""
+    && List.exists (fun r -> r.role = "hypothesis" && r.hypothesis = key)
+         store.runs
+  in
+  let streak_of vs =
+    match List.rev vs with
+    | [] -> 0
+    | last :: older ->
+        let rec count n = function
+          | v :: rest when v.vd_outcome = last.vd_outcome ->
+              count (n + 1) rest
+          | _ -> n
+        in
+        count 1 older
+  in
+  let status_of key =
+    match latest_outcome key with
+    | Some o -> outcome_name o
+    | None -> if evidence_ready key then "evidence-ready" else "open"
+  in
+  let rp_suggestions =
+    List.filter_map
+      (fun sg ->
+        if sg.sg_hypothesis = "" then Some sg
+        else
+          match latest_outcome sg.sg_hypothesis with
+          | Some (Held | Refuted) -> None (* resolved: suppressed *)
+          | Some Inconclusive | None ->
+              if evidence_ready sg.sg_hypothesis then
+                Some
+                  {
+                    sg with
+                    sg_action =
+                      "castan lab run-next  # arm evidence for this \
+                       hypothesis is already ingested";
+                  }
+              else Some sg)
+      raw
+  in
+  (* One hypothesis row per distinct suggestion key (suggestion order),
+     then verdict-only keys whose finding has since left the report,
+     oldest verdict first. *)
+  let seen_keys = Hashtbl.create 8 in
+  let from_suggestions =
+    List.filter_map
+      (fun sg ->
+        if sg.sg_hypothesis = "" || Hashtbl.mem seen_keys sg.sg_hypothesis
+        then None
+        else begin
+          Hashtbl.add seen_keys sg.sg_hypothesis ();
+          let vs = verdicts_for sg.sg_hypothesis in
+          Some
+            {
+              hy_key = sg.sg_hypothesis;
+              hy_kind = sg.sg_kind;
+              hy_experiment = sg.sg_experiment;
+              hy_status = status_of sg.sg_hypothesis;
+              hy_verdicts = List.length vs;
+              hy_streak = streak_of vs;
+            }
+        end)
+      raw
+  in
+  let from_verdicts =
+    List.filter_map
+      (fun v ->
+        if Hashtbl.mem seen_keys v.vd_hypothesis then None
+        else begin
+          Hashtbl.add seen_keys v.vd_hypothesis ();
+          let vs = verdicts_for v.vd_hypothesis in
+          Some
+            {
+              hy_key = v.vd_hypothesis;
+              hy_kind = v.vd_kind;
+              hy_experiment = v.vd_experiment;
+              hy_status = status_of v.vd_hypothesis;
+              hy_verdicts = List.length vs;
+              hy_streak = streak_of vs;
+            }
+        end)
+      store.verdicts
+  in
   { rp_store = store; rp_rankings; rp_regressions; rp_failures;
-    rp_suggestions }
+    rp_suggestions; rp_hypotheses = from_suggestions @ from_verdicts }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -1270,8 +1683,29 @@ let report_json ?(top = 20) rp =
                  @ [
                      ("action", Obs.Json.Str sg.sg_action);
                      ("rationale", Obs.Json.Str sg.sg_rationale);
-                   ]))
+                   ]
+                 @
+                 if sg.sg_hypothesis = "" then []
+                 else [ ("hypothesis", Obs.Json.Str sg.sg_hypothesis) ]))
              rp.rp_suggestions) );
+      ( "hypotheses",
+        Obs.Json.List
+          (List.map
+             (fun hy ->
+               Obs.Json.Obj
+                 ([
+                    ("key", Obs.Json.Str hy.hy_key);
+                    ("kind", Obs.Json.Str hy.hy_kind);
+                  ]
+                 @ (match hy.hy_experiment with
+                   | Some e -> [ ("experiment", Obs.Json.Str e) ]
+                   | None -> [])
+                 @ [
+                     ("status", Obs.Json.Str hy.hy_status);
+                     ("verdicts", Obs.Json.Int hy.hy_verdicts);
+                     ("streak", Obs.Json.Int hy.hy_streak);
+                   ]))
+             rp.rp_hypotheses) );
     ]
 
 let report_table ?(top = 20) rp =
@@ -1330,6 +1764,20 @@ let report_table ?(top = 20) rp =
         Printf.bprintf buf "  %-40s seen in %d run(s)\n" pattern count)
       rp.rp_failures
   end;
+  if rp.rp_hypotheses <> [] then begin
+    Buffer.add_string buf "\nhypotheses:\n";
+    List.iter
+      (fun hy ->
+        Printf.bprintf buf "  %-14s %s%s\n"
+          (if hy.hy_streak > 1 then
+             Printf.sprintf "%s x%d" hy.hy_status hy.hy_streak
+           else hy.hy_status)
+          hy.hy_key
+          (if hy.hy_verdicts > 0 then
+             Printf.sprintf "  (%d verdict(s))" hy.hy_verdicts
+           else ""))
+      rp.rp_hypotheses
+  end;
   if rp.rp_suggestions <> [] then begin
     Buffer.add_string buf "\nsuggested next experiments:\n";
     List.iter
@@ -1339,3 +1787,664 @@ let report_table ?(top = 20) rp =
       rp.rp_suggestions
   end;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The hypothesis engine: run-next and loop                            *)
+(* ------------------------------------------------------------------ *)
+
+type executor = argv:string list -> log:string -> (int * float, string) result
+
+let default_executor ~argv ~log =
+  match argv with
+  | [] -> Error "empty command line"
+  | prog :: _ -> (
+      try
+        let fd =
+          Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let t0 = Unix.gettimeofday () in
+        let pid =
+          Unix.create_process prog (Array.of_list argv) Unix.stdin fd fd
+        in
+        let _, status = Unix.waitpid [] pid in
+        let wall = Unix.gettimeofday () -. t0 in
+        Unix.close fd;
+        match status with
+        | Unix.WEXITED code -> Ok (code, wall)
+        | Unix.WSIGNALED s ->
+            Error (Printf.sprintf "%s killed by signal %d" prog s)
+        | Unix.WSTOPPED s ->
+            Error (Printf.sprintf "%s stopped by signal %d" prog s)
+      with
+      | Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | Sys_error m -> Error m)
+
+type arm_output = Metrics_manifest | Profile_json | Journal_dir
+
+type arm = {
+  am_name : string;
+  am_argv : string list;
+  am_out : string;
+  am_output : arm_output;
+}
+
+type compare_rule =
+  | Cmp_ab_wall
+  | Cmp_profile
+  | Cmp_recheck of string
+  | Cmp_jobs of int
+  | Cmp_failure
+
+type plan = {
+  pl_hypothesis : string;
+  pl_kind : string;
+  pl_experiment : string;
+  pl_arms : arm list;
+  pl_rule : compare_rule;
+}
+
+let hyp_dir dir = Filename.concat dir "hypotheses"
+let hyp_slug key = String.sub (Digest.to_hex (Digest.string key)) 0 12
+
+(* Translate a suggestion into concrete subprocess arms.  Every arm runs
+   under --quick so a verdict costs seconds, not a full campaign, and the
+   comparison is always between arms executed in this invocation (or a
+   crashed predecessor on the same machine) — never a fresh wall time
+   against a historical one that may come from different hardware. *)
+let plan_of ~dir ~castan rp sg =
+  let hd = hyp_dir dir in
+  let s = hyp_slug sg.sg_hypothesis in
+  let out name ext =
+    Filename.concat hd (Printf.sprintf "arm-%s-%s.%s" s name ext)
+  in
+  let experiment_arm ?(extra = []) ~name ~jobs id =
+    let o = out name "metrics.json" in
+    {
+      am_name = name;
+      am_argv =
+        [ castan; "experiment"; id; "--quick"; "-j"; string_of_int jobs;
+          "--metrics"; o ]
+        @ extra;
+      am_out = o;
+      am_output = Metrics_manifest;
+    }
+  in
+  let mk ~experiment ~arms ~rule =
+    Some
+      {
+        pl_hypothesis = sg.sg_hypothesis;
+        pl_kind = sg.sg_kind;
+        pl_experiment = experiment;
+        pl_arms = arms;
+        pl_rule = rule;
+      }
+  in
+  match sg.sg_kind with
+  | "regression-ab" -> (
+      match
+        List.find_opt
+          (fun rg -> regression_hypothesis rg = sg.sg_hypothesis)
+          rp.rp_regressions
+      with
+      | None -> None
+      | Some rg -> (
+          let id = rg.rg_id in
+          let jobs = max 1 rg.rg_jobs in
+          let recheck expected =
+            mk ~experiment:id
+              ~arms:[ experiment_arm ~name:"recheck" ~jobs id ]
+              ~rule:(Cmp_recheck expected)
+          in
+          match rg.rg_bound with
+          | "solver" ->
+              mk ~experiment:id
+                ~arms:
+                  [
+                    experiment_arm ~name:"on" ~jobs id;
+                    experiment_arm ~extra:[ "--no-solver-cache" ] ~name:"off"
+                      ~jobs id;
+                  ]
+                ~rule:Cmp_ab_wall
+          | "symbex" -> (
+              match List.assoc_opt id Harness.figure_nfs with
+              | Some nf ->
+                  let o = out "profile" "profile.json" in
+                  mk ~experiment:id
+                    ~arms:
+                      [
+                        {
+                          am_name = "profile";
+                          am_argv =
+                            [ castan; "profile"; "--nf"; nf; "--analyze";
+                              "--profile-json"; o ];
+                          am_out = o;
+                          am_output = Profile_json;
+                        };
+                      ]
+                    ~rule:Cmp_profile
+              | None -> recheck "symbex")
+          | "cache-model" -> recheck "cache-model"
+          | _ -> recheck "unknown"))
+  | "jobs-sweep" ->
+      (* A quick fixed-experiment pair probes the machine's actual scaling;
+         fig13 is the fastest wall-bearing figure in the quick harness. *)
+      let id = "fig13" and n = 4 in
+      mk ~experiment:id
+        ~arms:
+          [
+            experiment_arm ~name:"j1" ~jobs:1 id;
+            experiment_arm ~name:(Printf.sprintf "j%d" n) ~jobs:n id;
+          ]
+        ~rule:(Cmp_jobs n)
+  | "failure" -> (
+      match sg.sg_experiment with
+      | None -> None
+      | Some id ->
+          let o = out "repro" "journal" in
+          mk ~experiment:id
+            ~arms:
+              [
+                {
+                  am_name = "repro";
+                  am_argv =
+                    [ castan; "experiment"; id; "--quick"; "--journal"; o ];
+                  am_out = o;
+                  am_output = Journal_dir;
+                };
+              ]
+            ~rule:Cmp_failure)
+  | _ -> None
+
+(* The synthesized per-arm artifact: a schema-3 bench-shaped manifest (so
+   ingestion reuses normalize_bench wholesale) whose seconds are the
+   subprocess wall measured by the engine, whose identity and counters come
+   from the artifact the arm itself wrote, and whose lab_* markers make the
+   ledger run a hypothesis arm rather than evidence. *)
+let synth_arm_artifact ~key ~experiment ~(arm : arm) ~code ~wall ~now =
+  let status =
+    (* Exit 2 is "completed degraded" for castan subcommands: the artifact
+       is still written and its counters are real. *)
+    if code = 0 || code = 2 then "ok"
+    else Printf.sprintf "failed:exit-%d" code
+  in
+  let parsed path =
+    match read_file path with
+    | Error _ -> None
+    | Ok c -> Result.to_option (Obs.Json.parse c)
+  in
+  let fallback = ([ (experiment, wall, status, []) ], None) in
+  let entries, identity =
+    match arm.am_output with
+    | Metrics_manifest -> (
+        match parsed arm.am_out with
+        | None -> fallback
+        | Some j ->
+            let counters =
+              match member "metrics" j with
+              | Some m -> sort_counters (counters_of_metrics m)
+              | None -> []
+            in
+            let identity =
+              Option.bind (member "identity" j) (fun i ->
+                  Result.to_option (Manifest.identity_of_json i))
+            in
+            ([ (experiment, wall, status, counters) ], identity))
+    | Profile_json -> (
+        match parsed arm.am_out with
+        | None -> fallback
+        | Some j ->
+            let counters =
+              sort_counters
+                [
+                  ( "profile.total_cycles",
+                    Option.value ~default:0 (get_int j "total_cycles") );
+                  ( "profile.blocks",
+                    match member "blocks" j with
+                    | Some (Obs.Json.List l) -> List.length l
+                    | _ -> 0 );
+                ]
+            in
+            ([ (experiment, wall, status, counters) ], None))
+    | Journal_dir -> (
+        match normalize_journal ~dir:arm.am_out with
+        | Error _ -> fallback
+        | Ok jr ->
+            ( (experiment, wall, status, [])
+              :: List.map (fun e -> (e.id, 0.0, e.status, e.counters))
+                   jr.entries,
+              Some jr.identity ))
+  in
+  let entry_j (id, secs, st, counters) =
+    Obs.Json.Obj
+      ([
+         ("id", Obs.Json.Str id);
+         ("seconds", Obs.Json.Float secs);
+         ("status", Obs.Json.Str st);
+       ]
+      @
+      if counters = [] then []
+      else
+        [
+          ( "metrics",
+            Obs.Json.Obj
+              [
+                ( "counters",
+                  Obs.Json.Obj
+                    (List.map (fun (k, v) -> (k, Obs.Json.Int v)) counters)
+                );
+              ] );
+        ])
+  in
+  Obs.Json.Obj
+    ([
+       ("schema_version", Obs.Json.Int 3);
+       ("tool", Obs.Json.Str "castan-lab");
+       ("generated_at_unix", Obs.Json.Float now);
+       ("lab_role", Obs.Json.Str "hypothesis");
+       ("lab_hypothesis", Obs.Json.Str key);
+       ("lab_arm", Obs.Json.Str arm.am_name);
+     ]
+    @ (match identity with
+      | Some i -> [ ("identity", Manifest.identity_json i) ]
+      | None -> [])
+    @ [ ("experiments_timed", Obs.Json.List (List.map entry_j entries)) ])
+
+let counters_of_run r =
+  match r.entries with e :: _ -> e.counters | [] -> []
+
+(* Verdict comparison, one rule per plan kind.  Every rule reads only runs
+   ingested for this hypothesis key. *)
+let judge ~noise ~max_regress plan arm_run v0 =
+  let missing name =
+    {
+      v0 with
+      vd_outcome = Inconclusive;
+      vd_detail = Printf.sprintf "arm %s left no ledger run" name;
+    }
+  in
+  match plan.pl_rule with
+  | Cmp_ab_wall -> (
+      match (arm_run "on", arm_run "off") with
+      | Some on, Some off ->
+          let t_on = on.total_seconds and t_off = off.total_seconds in
+          let delta = t_off -. t_on in
+          let pct = if t_on > 0.0 then 100.0 *. delta /. t_on else 0.0 in
+          let outcome, detail =
+            if delta > noise && pct > max_regress then
+              ( Held,
+                Printf.sprintf
+                  "disabling the solver cache costs %.3fs (+%.0f%%): the \
+                   cache is load-bearing here, consistent with a \
+                   solver-bound regression"
+                  delta pct )
+            else if delta <= noise then
+              ( Refuted,
+                Printf.sprintf
+                  "cache-off is within the noise floor of cache-on \
+                   (%+.3fs): this experiment's time is not made of solver \
+                   work the cache can save"
+                  delta )
+            else
+              ( Inconclusive,
+                Printf.sprintf
+                  "cache-off is %.3fs (+%.0f%%) slower — above the noise \
+                   floor but under the %.0f%% gate"
+                  delta pct max_regress )
+          in
+          {
+            v0 with
+            vd_outcome = outcome;
+            vd_base_run = on.run_id;
+            vd_test_run = off.run_id;
+            vd_base_seconds = t_on;
+            vd_test_seconds = t_off;
+            vd_delta_pct = pct;
+            vd_detail = detail;
+          }
+      | None, _ -> missing "on"
+      | _, None -> missing "off")
+  | Cmp_profile -> (
+      match arm_run "profile" with
+      | None -> missing "profile"
+      | Some r ->
+          let c = counters_of_run r in
+          let cycles = counter "profile.total_cycles" c in
+          let blocks = counter "profile.blocks" c in
+          if cycles > 0 then
+            {
+              v0 with
+              vd_outcome = Held;
+              vd_test_run = r.run_id;
+              vd_test_seconds = r.total_seconds;
+              vd_detail =
+                Printf.sprintf
+                  "profile attributed %d cycles over %d block(s); the hot \
+                   blocks are in the ingested profile run"
+                  cycles blocks;
+            }
+          else
+            {
+              v0 with
+              vd_outcome = Inconclusive;
+              vd_test_run = r.run_id;
+              vd_detail = "profile run produced no cycle attribution";
+            })
+  | Cmp_recheck expected -> (
+      match arm_run "recheck" with
+      | None -> missing "recheck"
+      | Some r ->
+          let b = bound_of (counters_of_run r) in
+          let v1 =
+            { v0 with vd_test_run = r.run_id;
+              vd_test_seconds = r.total_seconds }
+          in
+          if expected = "unknown" then
+            if b <> "unknown" then
+              {
+                v1 with
+                vd_outcome = Held;
+                vd_detail =
+                  Printf.sprintf
+                    "re-run collected counters: the cost is %s-bound" b;
+              }
+            else
+              {
+                v1 with
+                vd_outcome = Inconclusive;
+                vd_detail = "re-run still grew no counters to attribute";
+              }
+          else if b = expected then
+            {
+              v1 with
+              vd_outcome = Held;
+              vd_detail =
+                Printf.sprintf "fresh counters confirm the %s bound" expected;
+            }
+          else if b = "unknown" then
+            {
+              v1 with
+              vd_outcome = Inconclusive;
+              vd_detail = "re-run grew no counters to attribute";
+            }
+          else
+            {
+              v1 with
+              vd_outcome = Refuted;
+              vd_detail =
+                Printf.sprintf
+                  "fresh counters attribute the cost to %s, not %s" b
+                  expected;
+            })
+  | Cmp_jobs n -> (
+      match (arm_run "j1", arm_run (Printf.sprintf "j%d" n)) with
+      | Some a, Some b ->
+          let t1 = a.total_seconds and tn = b.total_seconds in
+          let speedup = if tn > 0.0 then t1 /. tn else 0.0 in
+          let ideal = float_of_int n in
+          let outcome, detail =
+            if speedup < ideal /. 2.0 then
+              ( Held,
+                Printf.sprintf
+                  "-j%d is only %.2fx faster than -j1 (ideal %.0fx): the \
+                   scaling gap is real on this machine"
+                  n speedup ideal )
+            else
+              ( Refuted,
+                Printf.sprintf
+                  "-j%d runs %.2fx faster than -j1 (at least half ideal): \
+                   scaling holds here; the flagged gap came from the \
+                   baseline environment"
+                  n speedup )
+          in
+          {
+            v0 with
+            vd_outcome = outcome;
+            vd_base_run = a.run_id;
+            vd_test_run = b.run_id;
+            vd_base_seconds = t1;
+            vd_test_seconds = tn;
+            vd_delta_pct = (if t1 > 0.0 then 100.0 *. (tn -. t1) /. t1 else 0.0);
+            vd_detail = detail;
+          }
+      | None, _ -> missing "j1"
+      | _, None -> missing (Printf.sprintf "j%d" n))
+  | Cmp_failure -> (
+      match arm_run "repro" with
+      | None -> missing "repro"
+      | Some r ->
+          let failed = List.filter (fun e -> e.status <> "ok") r.entries in
+          if failed <> [] then
+            {
+              v0 with
+              vd_outcome = Held;
+              vd_test_run = r.run_id;
+              vd_detail =
+                Printf.sprintf "reproduced: %d cell(s) still failing (%s)"
+                  (List.length failed)
+                  (String.concat ", "
+                     (List.map (fun e -> e.id ^ " " ^ e.status) failed));
+            }
+          else
+            {
+              v0 with
+              vd_outcome = Refuted;
+              vd_test_run = r.run_id;
+              vd_detail =
+                "clean re-run: the failure pattern did not reproduce";
+            })
+
+type exec_outcome = {
+  xo_verdict : verdict option;
+  xo_runs_performed : int;
+  xo_message : string;
+}
+
+let run_next ?(noise = 0.05) ?(max_regress = 20.0)
+    ?(deadline = Util.Resilience.no_deadline) ?(executor = default_executor)
+    ?(emit = fun ~name:_ _ -> ()) ?(skip = fun _ -> false) ~dir
+    ~castan () =
+  match load ~dir with
+  | Error e -> Error e
+  | Ok store -> (
+      let rp = report ~noise ~max_regress store in
+      let arm_of key name =
+        List.fold_left
+          (fun acc r ->
+            if r.role = "hypothesis" && r.hypothesis = key && r.arm = name
+            then Some r
+            else acc)
+          None store.runs
+      in
+      (* A plan with every arm already ingested *and* a verdict already
+         recorded has nothing left to learn: judging the same arms again
+         would only mint a near-duplicate verdict.  (Held/refuted are
+         already suppressed at the report level; this covers inconclusive,
+         which deliberately stays open until fresh evidence arrives.)
+         Arms-present-without-a-verdict is the crash-recovery path and
+         falls through to judgement. *)
+      let exhausted plan =
+        List.for_all (fun a -> arm_of plan.pl_hypothesis a.am_name <> None)
+          plan.pl_arms
+        && List.exists
+             (fun v -> v.vd_hypothesis = plan.pl_hypothesis)
+             store.verdicts
+      in
+      let rec pick = function
+        | [] -> None
+        | sg :: rest ->
+            if sg.sg_hypothesis = "" || skip sg.sg_hypothesis then pick rest
+            else (
+              match plan_of ~dir ~castan rp sg with
+              | Some plan when not (exhausted plan) -> Some plan
+              | Some _ | None -> pick rest)
+      in
+      match pick rp.rp_suggestions with
+      | None ->
+          Ok
+            {
+              xo_verdict = None;
+              xo_runs_performed = 0;
+              xo_message = "suggestion queue is empty";
+            }
+      | Some plan -> (
+          let key = plan.pl_hypothesis in
+          let hd = hyp_dir dir and s = hyp_slug key in
+          let logdir = Filename.concat hd "logs" in
+          mkdir_p logdir;
+          let find_arm st name =
+            List.fold_left
+              (fun acc r ->
+                if r.role = "hypothesis" && r.hypothesis = key && r.arm = name
+                then Some r
+                else acc)
+              None st.runs
+          in
+          let runs_performed = ref 0 in
+          let trouble = ref None in
+          List.iter
+            (fun arm ->
+              if !trouble = None && find_arm store arm.am_name = None then
+                if Util.Resilience.expired deadline then
+                  trouble :=
+                    Some
+                      (Printf.sprintf "deadline expired before arm %s"
+                         arm.am_name)
+                else begin
+                  emit ~name:"action_started"
+                    [
+                      ("hypothesis", Obs.Json.Str key);
+                      ("kind", Obs.Json.Str plan.pl_kind);
+                      ("experiment", Obs.Json.Str plan.pl_experiment);
+                      ("arm", Obs.Json.Str arm.am_name);
+                      ("command", Obs.Json.Str (String.concat " " arm.am_argv));
+                    ];
+                  Util.Resilience.checkpoint ~stage:"lab-exec" ();
+                  let log =
+                    Filename.concat logdir
+                      (Printf.sprintf "%s-%s.log" s arm.am_name)
+                  in
+                  match executor ~argv:arm.am_argv ~log with
+                  | Error e ->
+                      trouble :=
+                        Some
+                          (Printf.sprintf "arm %s failed to run: %s"
+                             arm.am_name e)
+                  | Ok (code, wall) -> (
+                      incr runs_performed;
+                      let artifact =
+                        Filename.concat hd
+                          (Printf.sprintf "hyp-%s-%s.json" s arm.am_name)
+                      in
+                      Util.Durable.write_string ~path:artifact
+                        (Obs.Json.to_string
+                           (synth_arm_artifact ~key
+                              ~experiment:plan.pl_experiment ~arm ~code ~wall
+                              ~now:(Unix.gettimeofday ()))
+                        ^ "\n");
+                      Util.Resilience.checkpoint ~stage:"lab-ingest" ();
+                      match ingest ~dir [ artifact ] with
+                      | Error e -> trouble := Some e
+                      | Ok _ ->
+                          emit ~name:"artifact_ingested"
+                            [
+                              ("hypothesis", Obs.Json.Str key);
+                              ("arm", Obs.Json.Str arm.am_name);
+                              ("file",
+                               Obs.Json.Str (Filename.basename artifact));
+                              ("seconds", Obs.Json.Float wall);
+                              ("exit_code", Obs.Json.Int code);
+                            ])
+                end)
+            plan.pl_arms;
+          match load ~dir with
+          | Error e -> Error e
+          | Ok store' -> (
+              let v0 =
+                {
+                  vd_id = "";
+                  vd_hypothesis = key;
+                  vd_kind = plan.pl_kind;
+                  vd_experiment =
+                    (if plan.pl_experiment = "" then None
+                     else Some plan.pl_experiment);
+                  vd_outcome = Inconclusive;
+                  vd_base_run = "";
+                  vd_test_run = "";
+                  vd_base_seconds = 0.0;
+                  vd_test_seconds = 0.0;
+                  vd_delta_pct = 0.0;
+                  vd_noise = noise;
+                  vd_max_regress = max_regress;
+                  vd_runs_performed = !runs_performed;
+                  vd_generated_at = Unix.gettimeofday ();
+                  vd_detail = "";
+                }
+              in
+              let v =
+                match !trouble with
+                | Some reason ->
+                    { v0 with vd_outcome = Inconclusive; vd_detail = reason }
+                | None ->
+                    judge ~noise ~max_regress plan (find_arm store') v0
+              in
+              let v = with_verdict_id v in
+              Util.Resilience.checkpoint ~stage:"lab-verdict" ();
+              match append_verdict ~dir v with
+              | Error e -> Error e
+              | Ok _appended ->
+                  emit ~name:"verdict"
+                    [
+                      ("hypothesis", Obs.Json.Str key);
+                      ("outcome", Obs.Json.Str (outcome_name v.vd_outcome));
+                      ("delta_pct", Obs.Json.Float v.vd_delta_pct);
+                      ("runs_performed", Obs.Json.Int !runs_performed);
+                      ("detail", Obs.Json.Str v.vd_detail);
+                    ];
+                  Ok
+                    {
+                      xo_verdict = Some v;
+                      xo_runs_performed = !runs_performed;
+                      xo_message =
+                        Printf.sprintf "[%s] %s: %s — %s" plan.pl_kind key
+                          (outcome_name v.vd_outcome) v.vd_detail;
+                    })))
+
+type loop_stats = {
+  lo_iterations : int;
+  lo_runs_performed : int;
+  lo_verdicts : verdict list;
+  lo_stop : string;
+}
+
+let loop ?(noise = 0.05) ?(max_regress = 20.0) ?(budget_runs = max_int)
+    ?(deadline = Util.Resilience.no_deadline) ?(executor = default_executor)
+    ?(emit = fun ~name:_ _ -> ()) ~dir ~castan () =
+  (* Hypothesis keys already attempted this invocation: an inconclusive
+     verdict leaves its suggestion open by design, but retrying it in the
+     same loop would spin. *)
+  let seen = Hashtbl.create 8 in
+  let rec go iters runs acc =
+    let stop reason =
+      Ok
+        {
+          lo_iterations = iters;
+          lo_runs_performed = runs;
+          lo_verdicts = List.rev acc;
+          lo_stop = reason;
+        }
+    in
+    if Util.Resilience.expired deadline then stop "deadline"
+    else if runs >= budget_runs then stop "budget-runs"
+    else
+      match
+        run_next ~noise ~max_regress ~deadline ~executor ~emit
+          ~skip:(Hashtbl.mem seen) ~dir ~castan ()
+      with
+      | Error e -> Error e
+      | Ok { xo_verdict = None; _ } -> stop "queue-empty"
+      | Ok { xo_verdict = Some v; xo_runs_performed; _ } ->
+          Hashtbl.replace seen v.vd_hypothesis ();
+          go (iters + 1) (runs + xo_runs_performed) (v :: acc)
+  in
+  go 0 0 []

@@ -45,12 +45,67 @@ type run = {
   pool_tasks : int;
   pool_busy_ns : int;
   entries : entry list;
+  role : string;
+      (** ["evidence"] (everything a user ingests) or ["hypothesis"] (an
+          arm executed by {!run_next}).  Hypothesis runs are excluded from
+          rankings, the regression scan and failure patterns, so an A/B arm
+          can never masquerade as fresh evidence and re-trigger the
+          suggestion it is testing.  Evidence runs encode without the role
+          fields, keeping pre-engine ledgers (and their run_ids)
+          byte-identical. *)
+  hypothesis : string;  (** hypothesis key; [""] for evidence *)
+  arm : string;  (** arm name, e.g. ["on"]/["off"]; [""] for evidence *)
 }
+
+(** {2 Verdicts}
+
+    A verdict is the engine's answer to one suggestion: it names the
+    hypothesis key, the runs on both sides of the comparison, the applied
+    thresholds and the outcome.  Verdicts are first-class ledger citizens —
+    appended to the same [ledger.jsonl] (kind ["verdict"]), content-addressed
+    like runs, deduped on re-append. *)
+
+type outcome = Held | Refuted | Inconclusive
+
+val outcome_name : outcome -> string
+(** ["held"] / ["refuted"] / ["inconclusive"]. *)
+
+val outcome_of_name : string -> (outcome, string) result
+
+type verdict = {
+  vd_id : string;  (** MD5 hex over the canonical, id-free encoding *)
+  vd_hypothesis : string;  (** the suggestion's hypothesis key *)
+  vd_kind : string;  (** the suggestion kind that raised it *)
+  vd_experiment : string option;
+  vd_outcome : outcome;
+  vd_base_run : string;  (** full run_id of the baseline arm; [""] if none *)
+  vd_test_run : string;  (** full run_id of the arm under test *)
+  vd_base_seconds : float;
+  vd_test_seconds : float;
+  vd_delta_pct : float;
+  vd_noise : float;  (** noise floor applied (seconds) *)
+  vd_max_regress : float;  (** percentage gate applied *)
+  vd_runs_performed : int;  (** subprocesses this verdict cost *)
+  vd_generated_at : float;
+  vd_detail : string;  (** one human sentence of why *)
+}
+
+val verdict_json : ?for_id:bool -> verdict -> Obs.Json.t
+
+val verdict_of_json : Obs.Json.t -> (verdict, string) result
+
+val with_verdict_id : verdict -> verdict
+(** Fills [vd_id] with the digest of the id-blanked encoding. *)
+
+val append_verdict : dir:string -> verdict -> (bool, string) result
+(** Appends one verdict to the ledger unless an identical one (same
+    [vd_id]) is already present; [Ok true] iff a line was written. *)
 
 type store = {
   dir : string;
   runs : run list;  (** sorted by [(generated_at, run_id)] *)
-  duplicates : int;  (** ledger records collapsed onto an earlier run_id *)
+  verdicts : verdict list;  (** sorted by [(vd_generated_at, vd_id)] *)
+  duplicates : int;  (** ledger records collapsed onto an earlier id *)
   rejected : int;  (** unparsable or schema-skewed ledger lines dropped *)
   torn : int;  (** torn final line dropped (1 or 0) *)
 }
@@ -98,7 +153,21 @@ val load : dir:string -> (store, string) result
 val find_run : store -> string -> (run, string) result
 (** Selector forms: [latest] / [latest~K] (K runs before the newest),
     a [run_id] prefix (must be unique), or an ingested file's basename
-    (newest match wins).  The error message lists near misses. *)
+    (newest match wins).  The error message lists near misses; a
+    [latest~K] beyond the ledger's depth says how many runs it holds. *)
+
+val filter_runs :
+  ?experiment:string ->
+  ?since:string ->
+  ?verdict:string ->
+  store ->
+  (run list, string) result
+(** Conjunction of filters over [store.runs]: [experiment] keeps runs with
+    an entry whose id starts with the prefix; [since] keeps runs strictly
+    after the resolved selector in [(generated_at, run_id)] order;
+    [verdict] ("held"/"refuted"/"inconclusive") keeps runs referenced on
+    either side of a verdict with that outcome.  Each is a pure function
+    of the ledger contents, so the result is ingest-order independent. *)
 
 val timings : run -> (string * float) list
 (** The ok entries that carry wall time, in entry order. *)
@@ -157,6 +226,21 @@ type suggestion = {
   sg_experiment : string option;
   sg_action : string;  (** a runnable command line *)
   sg_rationale : string;
+  sg_hypothesis : string;
+      (** key naming what the action would test, pinned to the evidence
+          that raised it (e.g. ["regression-ab|fig12|<run>"]); [""] for
+          suggestions that test nothing (ingest nags) *)
+}
+
+type hypothesis = {
+  hy_key : string;
+  hy_kind : string;
+  hy_experiment : string option;
+  hy_status : string;
+      (** ["open"] (no evidence yet), ["evidence-ready"] (arms ingested,
+          verdict pending), or the latest verdict's outcome name *)
+  hy_verdicts : int;
+  hy_streak : int;  (** trailing verdicts sharing the latest outcome *)
 }
 
 type report = {
@@ -165,7 +249,17 @@ type report = {
   rp_regressions : regression list;
   rp_failures : (string * int) list;  (** failure pattern -> runs seen in *)
   rp_suggestions : suggestion list;
+      (** suggestions whose hypothesis was already held or refuted are
+          suppressed; ones whose arm evidence is already ingested (same
+          identity and flags) have their action rewritten instead of
+          re-emitted verbatim *)
+  rp_hypotheses : hypothesis list;
+      (** every live suggestion key plus every key verdicts have been
+          recorded against *)
 }
+
+val regression_hypothesis : regression -> string
+(** The hypothesis key a regression finding's suggestion carries. *)
 
 val report : ?noise:float -> ?max_regress:float -> store -> report
 (** Pure.  Regression thresholds default to the bench_diff gate (0.05 s
@@ -177,4 +271,76 @@ val report_json : ?top:int -> report -> Obs.Json.t
 
 val report_table : ?top:int -> report -> string
 (** The human rendering: summary, rankings table, regressions, failure
-    patterns, suggested-next list. *)
+    patterns, hypotheses, suggested-next list. *)
+
+(** {2 The hypothesis engine}
+
+    {!run_next} closes the lab's loop: it takes the top suggestion, runs
+    its action as subprocess {e arms} (the [--no-solver-cache] A/B for
+    solver-bound regressions, the profile run for symbex-bound ones, the
+    cache-model / unknown recheck, the [-j] pair, the failure repro),
+    wraps each arm's output in a role-marked bench-shaped artifact,
+    ingests it, compares the arms, and appends one verdict.  All arms run
+    [--quick]; comparisons are always between arms run on this machine,
+    never against historical wall times.  Arms already present in the
+    ledger for the same hypothesis key are not re-executed — which makes a
+    crashed invocation resumable and a resolved one free. *)
+
+type executor = argv:string list -> log:string -> (int * float, string) result
+(** Runs one command, stdout+stderr redirected to [log]; returns the exit
+    code and wall seconds.  Injectable for tests. *)
+
+val default_executor : executor
+(** [Unix.create_process] + [waitpid]. *)
+
+type exec_outcome = {
+  xo_verdict : verdict option;  (** [None]: the queue was empty *)
+  xo_runs_performed : int;  (** subprocesses actually executed *)
+  xo_message : string;
+}
+
+val run_next :
+  ?noise:float ->
+  ?max_regress:float ->
+  ?deadline:Util.Resilience.deadline ->
+  ?executor:executor ->
+  ?emit:(name:string -> (string * Obs.Json.t) list -> unit) ->
+  ?skip:(string -> bool) ->
+  dir:string ->
+  castan:string ->
+  unit ->
+  (exec_outcome, string) result
+(** Execute the top suggestion's plan and append its verdict.  [castan] is
+    the binary to invoke (normally [Sys.executable_name]).  [emit] receives
+    [action_started] / [artifact_ingested] / [verdict] progress events;
+    [skip] drops suggestions by hypothesis key.  An expired [deadline]
+    yields an [Inconclusive] verdict rather than a half-run comparison.
+    Arms whose runs are already in the ledger are not re-executed (the
+    crash-recovery path); a suggestion whose arms are all ingested and
+    which already has a verdict — any outcome — is passed over entirely,
+    so re-invoking [run_next] never mints near-duplicate verdicts.
+    [Error] is infrastructure only (unreadable/unwritable ledger). *)
+
+type loop_stats = {
+  lo_iterations : int;
+  lo_runs_performed : int;
+  lo_verdicts : verdict list;  (** oldest first *)
+  lo_stop : string;  (** ["queue-empty"], ["budget-runs"] or ["deadline"] *)
+}
+
+val loop :
+  ?noise:float ->
+  ?max_regress:float ->
+  ?budget_runs:int ->
+  ?deadline:Util.Resilience.deadline ->
+  ?executor:executor ->
+  ?emit:(name:string -> (string * Obs.Json.t) list -> unit) ->
+  dir:string ->
+  castan:string ->
+  unit ->
+  (loop_stats, string) result
+(** Iterate {!run_next} until the queue is empty or a cap trips.  The
+    budget is checked between actions (an A/B is atomic, so the last
+    action may overshoot by its arm count); a hypothesis attempted once is
+    not retried within the same loop even if its verdict was
+    inconclusive. *)

@@ -1,0 +1,99 @@
+let schema_version = 1
+
+type event = {
+  ev_seq : int;
+  ev_ts : float;
+  ev_name : string;
+  ev_fields : (string * Json.t) list;
+}
+
+let event_json e =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.Str "event");
+      ("seq", Json.Int e.ev_seq);
+      ("ts_unix", Json.Float e.ev_ts);
+      ("event", Json.Str e.ev_name);
+      ("fields", Json.Obj e.ev_fields);
+    ]
+
+let event_of_json j =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "event: missing string field %S" name)
+  in
+  let* () =
+    match Json.member "schema_version" j with
+    | Some (Json.Int v) when v >= 1 && v <= schema_version -> Ok ()
+    | Some (Json.Int v) ->
+        Error (Printf.sprintf "event: unsupported schema_version %d" v)
+    | _ -> Error "event: missing schema_version"
+  in
+  let* kind = str "kind" in
+  let* () =
+    if kind = "event" then Ok ()
+    else Error (Printf.sprintf "event: unexpected kind %S" kind)
+  in
+  let* seq =
+    match Json.member "seq" j with
+    | Some (Json.Int n) when n >= 1 -> Ok n
+    | _ -> Error "event: seq must be a positive integer"
+  in
+  let* ts =
+    match Json.member "ts_unix" j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int n) -> Ok (float_of_int n)
+    | _ -> Error "event: missing ts_unix"
+  in
+  let* name = str "event" in
+  let* fields =
+    match Json.member "fields" j with
+    | Some (Json.Obj kvs) -> Ok kvs
+    | None -> Ok []
+    | Some _ -> Error "event: fields must be an object"
+  in
+  Ok { ev_seq = seq; ev_ts = ts; ev_name = name; ev_fields = fields }
+
+let render e =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "[%d] %s" e.ev_seq e.ev_name);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Json.Str s -> Buffer.add_string buf (Printf.sprintf " %s=%s" k s)
+      | Json.Int n -> Buffer.add_string buf (Printf.sprintf " %s=%d" k n)
+      | Json.Float f -> Buffer.add_string buf (Printf.sprintf " %s=%.3f" k f)
+      | Json.Bool b -> Buffer.add_string buf (Printf.sprintf " %s=%b" k b)
+      | Json.Null | Json.List _ | Json.Obj _ -> ())
+    e.ev_fields;
+  Buffer.contents buf
+
+type sink = {
+  mutable sk_seq : int;
+  sk_app : Util.Durable.appender;
+  sk_echo : event -> unit;
+  mutable sk_closed : bool;
+}
+
+let open_sink ?(echo = fun _ -> ()) path =
+  { sk_seq = 0; sk_app = Util.Durable.append_open path; sk_echo = echo;
+    sk_closed = false }
+
+let emit sink ~name fields =
+  sink.sk_seq <- sink.sk_seq + 1;
+  let e =
+    { ev_seq = sink.sk_seq; ev_ts = Unix.gettimeofday ();
+      ev_name = name; ev_fields = fields }
+  in
+  Util.Durable.append_line sink.sk_app (Json.to_string (event_json e));
+  sink.sk_echo e;
+  e
+
+let close sink =
+  if not sink.sk_closed then begin
+    sink.sk_closed <- true;
+    Util.Durable.append_close sink.sk_app
+  end

@@ -1,0 +1,50 @@
+(** Structured progress events for long-running lab actions.
+
+    A loop that shells out to benchmarks runs for minutes; this sink
+    tails out one JSONL record per step ([action_started],
+    [artifact_ingested], [verdict], ...) so a human (`lab loop
+    --follow`) or a future campaign server can watch progress live.
+    Records are appended through {!Util.Durable}, so an event that was
+    emitted survives the crash it may be narrating.
+
+    Stream format, one object per line:
+    {v
+      {"schema_version":1,"kind":"event","seq":N,"ts_unix":T,
+       "event":"action_started","fields":{...}}
+    v}
+    [seq] restarts at 1 for every session (every {!open_sink}); within a
+    session it is strictly increasing.  Validators therefore accept
+    resets to 1 but reject any other non-increase. *)
+
+val schema_version : int
+
+type event = {
+  ev_seq : int;          (** 1-based, per session *)
+  ev_ts : float;         (** unix seconds *)
+  ev_name : string;      (** e.g. ["action_started"] *)
+  ev_fields : (string * Json.t) list;
+}
+
+val event_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+(** Strict: wrong [kind], missing field, or a future [schema_version]
+    is an error naming the offending part. *)
+
+val render : event -> string
+(** One human progress line, e.g.
+    ["[3] artifact_ingested experiment=fig12 arm=off"].  String and
+    integer fields are inlined; structured fields are elided. *)
+
+type sink
+
+val open_sink : ?echo:(event -> unit) -> string -> sink
+(** [open_sink path] opens (creating if needed) the event stream at
+    [path] for durable appending.  [echo] is called synchronously with
+    every emitted event — the [--follow] hook. *)
+
+val emit : sink -> name:string -> (string * Json.t) list -> event
+(** Appends one event (fsynced) and returns it. *)
+
+val close : sink -> unit
+(** Idempotent. *)

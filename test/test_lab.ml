@@ -338,6 +338,281 @@ let test_steady_pair_no_findings () =
           Alcotest.(check int) "no suggestions" 0
             (List.length report.Lab.rp_suggestions)))
 
+(* ---------------- verdicts and the hypothesis engine ---------------- *)
+
+(* Verdict generator: floats quantized to quarters (exactly representable,
+   so JSON round-trips are byte-exact), distinct generated_at per index so
+   the store's sort order matches append order. *)
+let gen_verdict i =
+  QCheck.Gen.(
+    let* kind = oneofl [ "regression-ab"; "jobs-sweep"; "failure" ] in
+    let* outcome = oneofl [ Lab.Held; Lab.Refuted; Lab.Inconclusive ] in
+    let* experiment = oneofl [ None; Some "fig12"; Some "fig13" ] in
+    let* q1 = int_range 0 40 in
+    let* q2 = int_range 0 40 in
+    let* runs = int_range 0 4 in
+    let* salt = int_range 0 1000 in
+    let quarter k = float_of_int k /. 4.0 in
+    return
+      (Lab.with_verdict_id
+         {
+           Lab.vd_id = "";
+           vd_hypothesis = Printf.sprintf "%s|exp%d|%d" kind i salt;
+           vd_kind = kind;
+           vd_experiment = experiment;
+           vd_outcome = outcome;
+           vd_base_run = "";
+           vd_test_run = "";
+           vd_base_seconds = quarter q1;
+           vd_test_seconds = quarter q2;
+           vd_delta_pct = quarter (q2 - q1);
+           vd_noise = 0.05;
+           vd_max_regress = 20.0;
+           vd_runs_performed = runs;
+           vd_generated_at = 1000.0 +. float_of_int i;
+           vd_detail = Printf.sprintf "synthetic verdict %d" i;
+         }))
+
+let gen_verdicts =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let rec go i acc =
+      if i >= n then return (List.rev acc)
+      else
+        let* v = gen_verdict i in
+        go (i + 1) (v :: acc)
+    in
+    go 0 [])
+
+let arb_verdicts = QCheck.make ~print:(fun _ -> "<verdicts>") gen_verdicts
+
+let test_verdict_roundtrip =
+  QCheck.Test.make
+    ~name:"verdicts round-trip byte-identically and dedup on re-append"
+    ~count:30 arb_verdicts (fun verdicts ->
+      with_dir (fun lab ->
+          List.for_all
+            (fun v -> Lab.append_verdict ~dir:lab v = Ok true)
+            verdicts
+          &&
+          let first = read_file (ledger_path lab) in
+          let store = load_ok lab in
+          let reencoded =
+            List.map
+              (fun v -> Obs.Json.to_string (Lab.verdict_json v) ^ "\n")
+              store.Lab.verdicts
+            |> String.concat ""
+          in
+          (* the store may collapse duplicate vd_ids the generator made *)
+          let dedup = List.length store.Lab.verdicts in
+          dedup <= List.length verdicts
+          && (dedup < List.length verdicts || reencoded = first)
+          && List.for_all
+               (fun v -> Lab.append_verdict ~dir:lab v = Ok false)
+               verdicts
+          && read_file (ledger_path lab) = first))
+
+let test_filter_runs_order_independent =
+  QCheck.Test.make
+    ~name:"filter_runs is a pure function of the ledger, not ingest order"
+    ~count:30
+    QCheck.(pair arb_manifests (int_range 0 1000))
+    (fun (manifests, salt) ->
+      with_dir (fun src ->
+          let paths =
+            List.mapi
+              (fun i j -> write_manifest src (Printf.sprintf "m%d.json" i) j)
+              manifests
+          in
+          let shuffled =
+            List.map (fun p -> (Hashtbl.hash (salt, p), p)) paths
+            |> List.sort compare |> List.map snd
+          in
+          with_dir (fun lab_a ->
+              with_dir (fun lab_b ->
+                  ignore (ingest_ok lab_a paths);
+                  ignore (ingest_ok lab_b shuffled);
+                  let ids dir filt =
+                    match filt (load_ok dir) with
+                    | Ok runs ->
+                        List.map (fun r -> r.Lab.run_id) runs
+                    | Error e -> Alcotest.failf "filter_runs: %s" e
+                  in
+                  ids lab_a (Lab.filter_runs ~experiment:"exp1")
+                  = ids lab_b (Lab.filter_runs ~experiment:"exp1")
+                  && ids lab_a (Lab.filter_runs ~since:"latest~1")
+                     = ids lab_b (Lab.filter_runs ~since:"latest~1")))))
+
+let test_since_out_of_range () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          let store = load_ok lab in
+          match Lab.find_run store "latest~99" with
+          | Ok _ -> Alcotest.fail "latest~99 resolved against 2 runs"
+          | Error e ->
+              let contains hay needle =
+                let n = String.length hay and m = String.length needle in
+                let rec go i =
+                  i + m <= n && (String.sub hay i m = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) "message reports the ledger depth" true
+                (contains e "the ledger has 2 run(s)")))
+
+(* A fake executor for the A/B plan: cache-on finishes in 1s, cache-off in
+   2s — comfortably past the 20% gate, so the verdict must be Held.  It
+   never writes the --metrics artifact; the engine's fallback entry carries
+   the wall time, which is all Cmp_ab_wall reads. *)
+let ab_executor ~argv ~log:_ =
+  if List.mem "--no-solver-cache" argv then Ok (0, 2.0) else Ok (0, 1.0)
+
+let run_next_ok ?executor ?skip lab =
+  match
+    Lab.run_next ?executor ?skip ~dir:lab ~castan:"castan-under-test" ()
+  with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "run_next: %s" e
+
+let test_run_next_end_to_end () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          let o = run_next_ok ~executor:ab_executor lab in
+          Alcotest.(check int) "both arms ran" 2 o.Lab.xo_runs_performed;
+          (match o.Lab.xo_verdict with
+          | None -> Alcotest.fail "no verdict appended"
+          | Some v ->
+              Alcotest.(check string) "verdict held" "held"
+                (Lab.outcome_name v.Lab.vd_outcome);
+              Alcotest.(check string) "kind" "regression-ab" v.Lab.vd_kind;
+              Alcotest.(check (option string)) "experiment" (Some "fig12")
+                v.Lab.vd_experiment);
+          let after_first = read_file (ledger_path lab) in
+          (* the regression's evidence is resolved: second call runs nothing *)
+          let o2 = run_next_ok ~executor:ab_executor lab in
+          Alcotest.(check int) "no new subprocess" 0 o2.Lab.xo_runs_performed;
+          Alcotest.(check bool) "no new verdict" true
+            (o2.Lab.xo_verdict = None);
+          Alcotest.(check string) "ledger untouched" after_first
+            (read_file (ledger_path lab));
+          (* and the report shows the hypothesis resolved, not re-suggested *)
+          let report = Lab.report (load_ok lab) in
+          Alcotest.(check int) "suggestion suppressed" 0
+            (List.length report.Lab.rp_suggestions);
+          match
+            List.find_opt
+              (fun h -> h.Lab.hy_status = "held")
+              report.Lab.rp_hypotheses
+          with
+          | Some h -> Alcotest.(check int) "one verdict" 1 h.Lab.hy_verdicts
+          | None -> Alcotest.fail "no held hypothesis in the report"))
+
+let test_refuted_verdict_suppresses () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          let report = Lab.report (load_ok lab) in
+          let sg = List.hd report.Lab.rp_suggestions in
+          let v =
+            Lab.with_verdict_id
+              {
+                Lab.vd_id = "";
+                vd_hypothesis = sg.Lab.sg_hypothesis;
+                vd_kind = sg.Lab.sg_kind;
+                vd_experiment = sg.Lab.sg_experiment;
+                vd_outcome = Lab.Refuted;
+                vd_base_run = "";
+                vd_test_run = "";
+                vd_base_seconds = 1.0;
+                vd_test_seconds = 1.0;
+                vd_delta_pct = 0.0;
+                vd_noise = 0.05;
+                vd_max_regress = 20.0;
+                vd_runs_performed = 2;
+                vd_generated_at = 3000.0;
+                vd_detail = "synthetic refutation";
+              }
+          in
+          (match Lab.append_verdict ~dir:lab v with
+          | Ok true -> ()
+          | Ok false -> Alcotest.fail "verdict deduped on first append"
+          | Error e -> Alcotest.failf "append_verdict: %s" e);
+          let report' = Lab.report (load_ok lab) in
+          Alcotest.(check int) "suggestion suppressed" 0
+            (List.length report'.Lab.rp_suggestions);
+          (* the regression finding itself still stands — only the already
+             tested hypothesis is silenced *)
+          Alcotest.(check int) "regression still reported" 1
+            (List.length report'.Lab.rp_regressions);
+          match report'.Lab.rp_hypotheses with
+          | [ h ] ->
+              Alcotest.(check string) "status" "refuted" h.Lab.hy_status;
+              Alcotest.(check string) "key" sg.Lab.sg_hypothesis h.Lab.hy_key
+          | l -> Alcotest.failf "%d hypothesis rows, expected 1"
+                   (List.length l)))
+
+let test_crash_mid_action_resumable () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          (* the A/B plan passes checkpoints lab-exec(on), lab-ingest(on),
+             lab-exec(off), ...; crashing at the 3rd kills the process after
+             the first arm's artifact is ingested but before the second arm
+             runs *)
+          Util.Resilience.set_crash_point (Some 3);
+          Fun.protect
+            ~finally:(fun () -> Util.Resilience.set_crash_point None)
+            (fun () ->
+              match
+                Lab.run_next ~executor:ab_executor ~dir:lab
+                  ~castan:"castan-under-test" ()
+              with
+              | exception Util.Resilience.Crashed _ -> ()
+              | Ok _ | Error _ ->
+                  Alcotest.fail "armed crash point did not fire");
+          (* the half-done action left a loadable ledger with the first
+             arm's run recorded ... *)
+          let store = load_ok lab in
+          Alcotest.(check int) "evidence + one arm" 3
+            (List.length store.Lab.runs);
+          Alcotest.(check int) "no verdict yet" 0
+            (List.length store.Lab.verdicts);
+          (* ... and a clean re-run completes the action, re-running only
+             the missing arm *)
+          let o = run_next_ok ~executor:ab_executor lab in
+          Alcotest.(check int) "only the missing arm re-ran" 1
+            o.Lab.xo_runs_performed;
+          match o.Lab.xo_verdict with
+          | Some v ->
+              Alcotest.(check string) "verdict held" "held"
+                (Lab.outcome_name v.Lab.vd_outcome)
+          | None -> Alcotest.fail "resumed action appended no verdict"))
+
+let test_loop_drains_queue () =
+  with_dir (fun src ->
+      with_dir (fun lab ->
+          let base, regress = regression_pair src in
+          ignore (ingest_ok lab [ base; regress ]);
+          match
+            Lab.loop ~executor:ab_executor ~dir:lab
+              ~castan:"castan-under-test" ()
+          with
+          | Error e -> Alcotest.failf "loop: %s" e
+          | Ok stats ->
+              Alcotest.(check string) "stopped on empty queue" "queue-empty"
+                stats.Lab.lo_stop;
+              Alcotest.(check int) "one action" 1 stats.Lab.lo_iterations;
+              Alcotest.(check int) "two subprocess runs" 2
+                stats.Lab.lo_runs_performed;
+              Alcotest.(check int) "one verdict" 1
+                (List.length stats.Lab.lo_verdicts)))
+
 let tests =
   [
     qtest test_ingest_idempotent;
@@ -353,4 +628,16 @@ let tests =
       `Quick test_synthetic_regression;
     Alcotest.test_case "steady pair: no findings" `Quick
       test_steady_pair_no_findings;
+    qtest test_verdict_roundtrip;
+    qtest test_filter_runs_order_independent;
+    Alcotest.test_case "latest~K past the ledger depth names the depth"
+      `Quick test_since_out_of_range;
+    Alcotest.test_case "run-next: A/B end-to-end, idempotent on re-run"
+      `Quick test_run_next_end_to_end;
+    Alcotest.test_case "a refuted verdict suppresses its suggestion" `Quick
+      test_refuted_verdict_suppresses;
+    Alcotest.test_case "crash mid-action leaves the ledger resumable" `Quick
+      test_crash_mid_action_resumable;
+    Alcotest.test_case "loop drains the queue and stops" `Quick
+      test_loop_drains_queue;
   ]

@@ -16,7 +16,9 @@
                          time is dominated by scheduler jitter
      --against RUN       baseline from the lab ledger instead of a file:
                          `latest', `latest~K', a run-id prefix, or an
-                         ingested file's basename
+                         ingested file's basename; a `latest~K' deeper
+                         than the ledger exits 2 naming how many runs
+                         the ledger actually has
      --lab DIR           the lab directory (default bench/lab)
 
    Exit 0 when no experiment regressed beyond the gate, 1 when at least one

@@ -36,6 +36,13 @@
                                            findings and suggested_next are
                                            well-formed (and at least the
                                            given minimums are present)
+     check_telemetry loop LAB_DIR [MIN_VERDICTS [MAX_VERDICTS]]
+                                        -- the hypothesis loop's trail:
+                                           verdict records resolve against
+                                           the ledger's runs, events.jsonl
+                                           is a well-formed stream with sane
+                                           seq numbering, and the verdict
+                                           count is within bounds
 
    Exit 0 when the file is well formed, 1 (with a diagnostic on stderr) when
    it is not.  Uses the same Obs.Json parser the tests use, so "well formed"
@@ -578,6 +585,93 @@ let check_lab path mins =
     "lab: %s well-formed (%d regression(s), %d suggestion(s))\n" path
     (List.length regressions) (List.length suggested)
 
+(* `check_telemetry loop LAB_DIR [MIN_V [MAX_V]]`: the hypothesis loop's
+   durable trail.  The ledger must load, every verdict record must carry a
+   non-empty hypothesis, sane thresholds and arm run_ids that resolve
+   against the ledger's runs; `events.jsonl` must be a well-formed event
+   stream whose seq numbers only ever advance by one or reset to 1 (a new
+   session).  With MIN_V >= 1 the stream must show at least one
+   action_started, artifact_ingested and verdict event, and the ledger's
+   verdict count must land in [MIN_V, MAX_V]. *)
+let check_loop dir mins =
+  let store =
+    match Castan.Lab.load ~dir with
+    | Ok s -> s
+    | Error e -> fail "%s: ledger unreadable: %s" dir e
+  in
+  if store.Castan.Lab.rejected > 0 then
+    fail "%s: ledger has %d rejected record(s)" dir
+      store.Castan.Lab.rejected;
+  let run_ids =
+    List.map (fun (r : Castan.Lab.run) -> r.Castan.Lab.run_id)
+      store.Castan.Lab.runs
+  in
+  List.iter
+    (fun (v : Castan.Lab.verdict) ->
+      let where = String.sub v.Castan.Lab.vd_id 0 12 in
+      if v.Castan.Lab.vd_hypothesis = "" then
+        fail "%s: verdict %s has an empty hypothesis" dir where;
+      if v.Castan.Lab.vd_noise < 0.0 || v.Castan.Lab.vd_max_regress < 0.0
+      then fail "%s: verdict %s has negative thresholds" dir where;
+      if v.Castan.Lab.vd_runs_performed < 0 then
+        fail "%s: verdict %s has negative runs_performed" dir where;
+      List.iter
+        (fun arm ->
+          if arm <> "" && not (List.mem arm run_ids) then
+            fail "%s: verdict %s references run %s, not in the ledger" dir
+              where (String.sub arm 0 12))
+        [ v.Castan.Lab.vd_base_run; v.Castan.Lab.vd_test_run ])
+    store.Castan.Lab.verdicts;
+  let events_path = Filename.concat dir "events.jsonl" in
+  if not (Sys.file_exists events_path) then
+    fail "%s: no events.jsonl" dir;
+  let lines =
+    read_file events_path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s: empty event stream" events_path;
+  let counts = Hashtbl.create 8 in
+  let prev = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match Obs.Json.parse line with
+      | Error e -> fail "%s:%d: not JSON: %s" events_path ln e
+      | Ok j -> (
+          match Obs.Events.event_of_json j with
+          | Error e -> fail "%s:%d: %s" events_path ln e
+          | Ok e ->
+              if e.Obs.Events.ev_seq <> !prev + 1
+                 && e.Obs.Events.ev_seq <> 1 then
+                fail "%s:%d: seq %d after %d (must advance by 1 or reset)"
+                  events_path ln e.Obs.Events.ev_seq !prev;
+              prev := e.Obs.Events.ev_seq;
+              let name = e.Obs.Events.ev_name in
+              Hashtbl.replace counts name
+                (1 + try Hashtbl.find counts name with Not_found -> 0)))
+    lines;
+  let count name = try Hashtbl.find counts name with Not_found -> 0 in
+  let n_verdicts = List.length store.Castan.Lab.verdicts in
+  (match mins with
+  | None -> ()
+  | Some (min_v, max_v) ->
+      if min_v >= 1 then
+        List.iter
+          (fun name ->
+            if count name = 0 then
+              fail "%s: no %s event in the stream" events_path name)
+          [ "action_started"; "artifact_ingested"; "verdict" ];
+      if n_verdicts < min_v || n_verdicts > max_v then
+        fail "%s: %d verdict(s) in the ledger, expected %d..%d" dir
+          n_verdicts min_v max_v);
+  Printf.printf
+    "loop: %s ok (%d verdict(s); %d event(s): %d started, %d ingested, %d \
+     judged)\n"
+    dir n_verdicts (List.length lines)
+    (count "action_started")
+    (count "artifact_ingested")
+    (count "verdict")
+
 let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> check_trace path
@@ -607,6 +701,16 @@ let () =
       match (int_of_string_opt min_r, int_of_string_opt min_s) with
       | Some r, Some s when r >= 0 && s >= 0 -> check_lab path (Some (r, s))
       | _ -> fail "lab: minimums must be non-negative integers")
+  | [| _; "loop"; dir |] -> check_loop dir None
+  | [| _; "loop"; dir; min_v |] -> (
+      match int_of_string_opt min_v with
+      | Some v when v >= 0 -> check_loop dir (Some (v, max_int))
+      | _ -> fail "loop: MIN_VERDICTS must be a non-negative integer")
+  | [| _; "loop"; dir; min_v; max_v |] -> (
+      match (int_of_string_opt min_v, int_of_string_opt max_v) with
+      | Some lo, Some hi when lo >= 0 && hi >= lo ->
+          check_loop dir (Some (lo, hi))
+      | _ -> fail "loop: verdict bounds must satisfy 0 <= MIN <= MAX")
   | _ ->
       fail
         "usage: check_telemetry {trace|metrics|cache|collapsed} FILE\n\
@@ -616,4 +720,5 @@ let () =
         \       check_telemetry journal DIR [MANIFEST [WRITTEN REUSED]]\n\
         \       check_telemetry journal-eq DIR_A DIR_B\n\
         \       check_telemetry lab REPORT.json [MIN_REGRESSIONS \
-         [MIN_SUGGESTED]]"
+         [MIN_SUGGESTED]]\n\
+        \       check_telemetry loop LAB_DIR [MIN_VERDICTS [MAX_VERDICTS]]"
