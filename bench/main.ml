@@ -133,6 +133,23 @@ let () =
         | _ ->
             Printf.eprintf "-j expects a positive integer, got %s\n" n;
             exit 2)
+    | "--batch" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 ->
+            Testbed.Dut.set_default_batch k;
+            parse rest
+        | _ ->
+            Printf.eprintf "--batch expects a positive integer, got %s\n" n;
+            exit 2)
+    | "--compile-mode" :: m :: rest -> (
+        match Ir.Compile.mode_of_string m with
+        | Some mode ->
+            Ir.Compile.set_default_mode mode;
+            parse rest
+        | None ->
+            Printf.eprintf
+              "--compile-mode expects instr or superblock, got %s\n" m;
+            exit 2)
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\nknown experiments: %s\n" arg
           (String.concat ", " Castan.Harness.ids);

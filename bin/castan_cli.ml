@@ -62,6 +62,34 @@ let set_jobs j =
   Util.Pool.set_default_jobs
     (if j <= 0 then Util.Pool.recommended_jobs () else j)
 
+let batch_arg =
+  Arg.(value & opt int 0 & info [ "batch" ] ~docv:"N"
+         ~doc:"Replay burst size: packets pushed through the DUT per burst \
+               (DPDK-style).  Output is bit-identical for every N; the flag \
+               only moves wall time.  0 (default) keeps the process default \
+               of 32.")
+
+let compile_mode_arg =
+  Arg.(value & opt (some string) None & info [ "compile-mode" ] ~docv:"MODE"
+         ~doc:"NFIR execution engine: $(b,superblock) (default; fuses \
+               straight-line runs into single closures) or $(b,instr) (one \
+               closure per instruction).  Samples, metrics and profiles are \
+               bit-identical across modes; the flag exists for performance \
+               comparison and for pinning that equivalence in CI.")
+
+let set_replay batch compile_mode =
+  if batch > 0 then Testbed.Dut.set_default_batch batch;
+  match compile_mode with
+  | None -> ()
+  | Some s -> (
+      match Ir.Compile.mode_of_string s with
+      | Some m -> Ir.Compile.set_default_mode m
+      | None ->
+          Printf.eprintf
+            "castan: unknown compile mode %s (expected instr or superblock)\n%!"
+            s;
+          exit 1)
+
 let max_states_arg =
   Arg.(value & opt int 0 & info [ "max-states" ] ~docv:"N"
          ~doc:"Resource watchdog: cap the symbex pending-state queue at N \
@@ -293,9 +321,10 @@ let profile_cmd =
           first
   in
   let run name workload samples analyze budget seed top collapsed profile_json
-      no_solver_cache jobs trace metrics log_level =
+      no_solver_cache jobs batch compile_mode trace metrics log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
     set_jobs jobs;
+    set_replay batch compile_mode;
     let name = resolve name in
     install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
         Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
@@ -353,8 +382,8 @@ let profile_cmd =
              JSON)")
     Term.(
       const run $ nf_name $ workload $ samples $ analyze $ budget $ seed $ top
-      $ collapsed $ profile_json $ no_solver_cache_arg $ jobs_arg $ trace_arg
-      $ metrics_arg $ log_level_arg)
+      $ collapsed $ profile_json $ no_solver_cache_arg $ jobs_arg $ batch_arg
+      $ compile_mode_arg $ trace_arg $ metrics_arg $ log_level_arg)
 
 (* ---------------- probe-cache ---------------- *)
 
@@ -412,8 +441,21 @@ let replay_cmd =
     Arg.(value & opt int 20_000 & info [ "samples" ] ~docv:"N"
            ~doc:"Packets to measure.")
   in
-  let run name pcap samples =
+  let samples_out =
+    Arg.(value & opt (some string) None & info [ "samples-out" ] ~docv:"FILE"
+           ~doc:"Dump the raw per-packet samples (cycles, instrs, L3 misses, \
+                 verdict — one line each) to FILE.  The dump is a pure \
+                 function of the NF, workload and sample count: byte-\
+                 identical for every $(b,--batch), $(b,--compile-mode) and \
+                 $(b,-j), which is what the replay-smoke CI leg pins.")
+  in
+  let run name pcap samples jobs batch compile_mode samples_out trace metrics
+      log_level =
+    set_jobs jobs;
+    set_replay batch compile_mode;
     let nf = Nf.Registry.find name in
+    install_telemetry ~trace ~metrics ~log_level ~manifest:(fun () ->
+        Castan.Manifest.make ~extra:[ ("nf", Obs.Json.Str name) ] ());
     let w = Testbed.Workload.load_pcap ~name:pcap pcap in
     let nop = Testbed.Tg.nop_baseline ~samples () in
     let m = Testbed.Tg.measure ~samples nf w in
@@ -425,11 +467,26 @@ let replay_cmd =
     Printf.printf "  median instrs    %d /pkt\n" (Testbed.Tg.median_instrs m);
     Printf.printf "  median L3 misses %d /pkt\n" (Testbed.Tg.median_l3_misses m);
     Printf.printf "  max throughput   %.2f Mpps (<1%% loss)\n"
-      (Testbed.Tg.max_throughput_mpps m)
+      (Testbed.Tg.max_throughput_mpps m);
+    match samples_out with
+    | Some path ->
+        let buf = Buffer.create (Array.length m.Testbed.Tg.samples * 24) in
+        Array.iter
+          (fun (s : Testbed.Dut.sample) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%d %d %d %d\n" s.cycles s.instrs s.l3_misses
+                 s.ret))
+          m.Testbed.Tg.samples;
+        Util.Durable.write_string ~path (Buffer.contents buf);
+        Printf.printf "wrote %s\n" path
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Measure a PCAP workload against an NF on the testbed")
-    Term.(const run $ nf_arg $ pcap $ samples)
+    Term.(
+      const run $ nf_arg $ pcap $ samples $ jobs_arg $ batch_arg
+      $ compile_mode_arg $ samples_out $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 (* ---------------- dump ---------------- *)
 
@@ -601,6 +658,19 @@ let lab_cmd =
            wall times across job counts answer a scaling question, not a \
            regression question — skipping the regression gate\n%!"
           base.Castan.Lab.file jb next.Castan.Lab.file jn;
+        exit 2
+      end;
+      (* Replay burst sizes shift where per-packet bookkeeping lands, so
+         cross-batch wall times are no more comparable than cross-[-j] ones
+         (batch 0 = recorded before the replay pipeline existed). *)
+      let bb = base.Castan.Lab.identity.Castan.Manifest.batch
+      and bn = next.Castan.Lab.identity.Castan.Manifest.batch in
+      if bb <> bn && bb > 0 && bn > 0 then begin
+        Printf.eprintf
+          "castan lab: replay batch sizes differ (%s ran batch %d, %s ran \
+           batch %d); wall times across batch sizes are not comparable — \
+           skipping the regression gate\n%!"
+          base.Castan.Lab.file bb next.Castan.Lab.file bn;
         exit 2
       end;
       let rendered, regressions =
@@ -856,9 +926,11 @@ let experiment_cmd =
                  crash half of the journal's crash/resume contract.")
   in
   let run id quick fail_fast inject journal resume crash_after max_states
-      mem_budget_mb no_solver_cache jobs trace metrics log_level =
+      mem_budget_mb no_solver_cache jobs batch compile_mode trace metrics
+      log_level =
     if no_solver_cache then Solver.Qcache.set_enabled false;
     set_jobs jobs;
+    set_replay batch compile_mode;
     Util.Resilience.reset ();
     Util.Resilience.set_fail_fast fail_fast;
     Util.Resilience.set_injection
@@ -944,7 +1016,8 @@ let experiment_cmd =
     Term.(
       const run $ id $ quick $ fail_fast $ inject $ journal $ resume
       $ crash_after $ max_states_arg $ mem_budget_arg $ no_solver_cache_arg
-      $ jobs_arg $ trace_arg $ metrics_arg $ log_level_arg)
+      $ jobs_arg $ batch_arg $ compile_mode_arg $ trace_arg $ metrics_arg
+      $ log_level_arg)
 
 let () =
   install_signal_handlers ();

@@ -9,6 +9,9 @@ type t = {
   l1_sets : int;
   l2_sets : int;
   l3_sets : int;
+  line_shift : int;  (* -1 when geom.line is not a power of two *)
+  l1_mask : int;  (* set-index masks; -1 = fall back to mod *)
+  l2_mask : int;
   prefetch : bool;
 }
 
@@ -34,6 +37,8 @@ let log2 n =
   let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
   go 0 n
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
 let create ?(slice_seed = 0) ?(prefetch = false) geom =
   let l1_sets = Geometry.sets geom geom.l1d in
   let l2_sets = Geometry.sets geom geom.l2 in
@@ -49,16 +54,25 @@ let create ?(slice_seed = 0) ?(prefetch = false) geom =
     l1_sets;
     l2_sets;
     l3_sets;
+    line_shift = (if is_pow2 geom.line then log2 geom.line else -1);
+    l1_mask = (if is_pow2 l1_sets then l1_sets - 1 else -1);
+    l2_mask = (if is_pow2 l2_sets then l2_sets - 1 else -1);
     prefetch;
   }
 
-let line t paddr = paddr / t.geom.line
+let line t paddr =
+  if t.line_shift >= 0 then paddr lsr t.line_shift else paddr / t.geom.line
+
+let l1_set t line = if t.l1_mask >= 0 then line land t.l1_mask else line mod t.l1_sets
+let l2_set t line = if t.l2_mask >= 0 then line land t.l2_mask else line mod t.l2_sets
 
 let slice_of_line t line =
-  Array.fold_left
-    (fun (acc, bit) mask -> ((acc lor (parity (line land mask) lsl bit)), bit + 1))
-    (0, 0) t.slice_masks
-  |> fst
+  let masks = t.slice_masks in
+  let acc = ref 0 in
+  for bit = 0 to Array.length masks - 1 do
+    acc := !acc lor (parity (line land Array.unsafe_get masks bit) lsl bit)
+  done;
+  !acc
 
 let ground_truth_slice t paddr = slice_of_line t (line t paddr)
 let l3_set t paddr = line t paddr mod t.l3_sets
@@ -70,8 +84,8 @@ let latency (geom : Geometry.t) = function
   | Dram -> geom.lat_dram
 
 let rec access_line t line ~allow_prefetch =
-  if Level.access t.l1d ~set:(line mod t.l1_sets) ~tag:line then L1
-  else if Level.access t.l2 ~set:(line mod t.l2_sets) ~tag:line then L2
+  if Level.access t.l1d ~set:(l1_set t line) ~tag:line then L1
+  else if Level.access t.l2 ~set:(l2_set t line) ~tag:line then L2
   else begin
     let slice = slice_of_line t line in
     let l3 = t.l3.(slice) in
@@ -79,8 +93,8 @@ let rec access_line t line ~allow_prefetch =
     (* Inclusive L3: a victim disappears from the inner levels too. *)
     let victim = Level.last_evicted l3 in
     if victim >= 0 then begin
-      Level.invalidate t.l1d ~set:(victim mod t.l1_sets) ~tag:victim;
-      Level.invalidate t.l2 ~set:(victim mod t.l2_sets) ~tag:victim
+      Level.invalidate t.l1d ~set:(l1_set t victim) ~tag:victim;
+      Level.invalidate t.l2 ~set:(l2_set t victim) ~tag:victim
     end;
     (* Next-line prefetch on an L2 miss; the fill itself never recurses. *)
     if t.prefetch && allow_prefetch then
@@ -97,8 +111,8 @@ let flush t =
 
 let invalidate_line t paddr =
   let line = line t paddr in
-  Level.invalidate t.l1d ~set:(line mod t.l1_sets) ~tag:line;
-  Level.invalidate t.l2 ~set:(line mod t.l2_sets) ~tag:line;
+  Level.invalidate t.l1d ~set:(l1_set t line) ~tag:line;
+  Level.invalidate t.l2 ~set:(l2_set t line) ~tag:line;
   let slice = slice_of_line t line in
   Level.invalidate t.l3.(slice) ~set:(line mod t.l3_sets) ~tag:line
 

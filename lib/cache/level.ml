@@ -1,59 +1,96 @@
-(* Each set is an array of tags ordered MRU-first; -1 marks an empty way. *)
-type t = { ways : int; sets : int array array; mutable last_evicted : int }
+(* Exact LRU over flat arrays: [tags] holds sets*ways line ids (-1 = empty
+   way) and [stamps] the last-use tick of each way.  A hit rewrites one
+   stamp; a miss scans the set twice (membership, then the minimum stamp)
+   and overwrites the victim way in place.  Observably identical to the
+   classic MRU-ordered-array formulation — the victim is always the
+   least-recently-used resident tag, and empty ways (stamp 0, below every
+   live stamp) fill before anything real is evicted — but with no
+   [Array.blit] shifting on the hot path, which is what every simulated
+   memory access pays. *)
+type t = {
+  ways : int;
+  tags : int array;
+  stamps : int array;
+  mutable tick : int;
+  mutable last_evicted : int;
+}
 
 let create ~sets ~ways =
-  { ways; sets = Array.init sets (fun _ -> Array.make ways (-1)); last_evicted = -1 }
-
-let find set tag =
-  let n = Array.length set in
-  let rec go i = if i >= n then -1 else if set.(i) = tag then i else go (i + 1) in
-  go 0
-
-(* Move the entry at [pos] to the front, shifting the prefix down. *)
-let promote set pos =
-  let tag = set.(pos) in
-  Array.blit set 0 set 1 pos;
-  set.(0) <- tag
+  {
+    ways;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    tick = 0;
+    last_evicted = -1;
+  }
 
 let access t ~set ~tag =
-  let s = t.sets.(set) in
-  let pos = find s tag in
-  if pos = 0 then begin
-    t.last_evicted <- -1;
-    true
-  end
-  else if pos > 0 then begin
-    promote s pos;
+  let base = set * t.ways in
+  let tags = t.tags and stamps = t.stamps in
+  let limit = base + t.ways in
+  let rec find i =
+    if i >= limit then -1
+    else if Array.unsafe_get tags i = tag then i
+    else find (i + 1)
+  in
+  let pos = find base in
+  t.tick <- t.tick + 1;
+  if pos >= 0 then begin
+    Array.unsafe_set stamps pos t.tick;
     t.last_evicted <- -1;
     true
   end
   else begin
-    let evicted = s.(t.ways - 1) in
-    Array.blit s 0 s 1 (t.ways - 1);
-    s.(0) <- tag;
-    t.last_evicted <- evicted;
+    (* Victim: the way with the oldest stamp; empty ways are stamp 0 and
+       therefore always chosen first, mirroring the fill-before-evict
+       behavior of the ordered-array representation. *)
+    let victim = ref base and oldest = ref (Array.unsafe_get stamps base) in
+    for i = base + 1 to limit - 1 do
+      let s = Array.unsafe_get stamps i in
+      if s < !oldest then begin
+        oldest := s;
+        victim := i
+      end
+    done;
+    t.last_evicted <- Array.unsafe_get tags !victim;
+    Array.unsafe_set tags !victim tag;
+    Array.unsafe_set stamps !victim t.tick;
     false
   end
 
 let last_evicted t = t.last_evicted
 
 let invalidate t ~set ~tag =
-  let s = t.sets.(set) in
-  let pos = find s tag in
+  let base = set * t.ways in
+  let limit = base + t.ways in
+  let rec find i =
+    if i >= limit then -1
+    else if Array.unsafe_get t.tags i = tag then i
+    else find (i + 1)
+  in
+  let pos = find base in
   if pos >= 0 then begin
-    (* Shift the suffix up and clear the last way. *)
-    Array.blit s (pos + 1) s pos (t.ways - pos - 1);
-    s.(t.ways - 1) <- -1
+    Array.unsafe_set t.tags pos (-1);
+    (* Stamp 0 parks the freed way at the back of the LRU order, exactly
+       where the shifting representation leaves invalidated ways. *)
+    Array.unsafe_set t.stamps pos 0
   end
 
-let resident t ~set ~tag = find t.sets.(set) tag >= 0
+let resident t ~set ~tag =
+  let base = set * t.ways in
+  let limit = base + t.ways in
+  let rec find i =
+    if i >= limit then false
+    else if Array.unsafe_get t.tags i = tag then true
+    else find (i + 1)
+  in
+  find base
 
 let flush t =
   t.last_evicted <- -1;
-  Array.iter (fun s -> Array.fill s 0 (Array.length s) (-1)) t.sets
+  t.tick <- 0;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
 
 let occupancy t =
-  Array.fold_left
-    (fun acc s ->
-      Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) acc s)
-    0 t.sets
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags

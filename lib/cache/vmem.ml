@@ -2,10 +2,19 @@ let page_bits = 30
 let offset_mask = (1 lsl page_bits) - 1
 let offset_of addr = addr land offset_mask
 
+(* TLB-style memo in front of the hashtable: a small direct-mapped array of
+   (vpage, ppage) pairs.  Mappings are assigned once and never change, so
+   the memo can't go stale; it only saves the Hashtbl probe every simulated
+   access pays. *)
+let tlb_slots = 64
+let tlb_mask = tlb_slots - 1
+
 type t = {
   rng : Util.Rng.t;
   mapping : (int, int) Hashtbl.t;  (* virtual page -> physical page *)
   used : (int, unit) Hashtbl.t;  (* physical pages already handed out *)
+  tlb_vpage : int array;
+  tlb_ppage : int array;
 }
 
 let create ~seed =
@@ -13,6 +22,8 @@ let create ~seed =
     rng = Util.Rng.create (0x9a9e + seed);
     mapping = Hashtbl.create 8;
     used = Hashtbl.create 8;
+    tlb_vpage = Array.make tlb_slots (-1);
+    tlb_ppage = Array.make tlb_slots 0;
   }
 
 let physical_page t vpage =
@@ -31,4 +42,15 @@ let physical_page t vpage =
 
 let translate t vaddr =
   let vpage = vaddr lsr page_bits in
-  (physical_page t vpage lsl page_bits) lor offset_of vaddr
+  let slot = vpage land tlb_mask in
+  let ppage =
+    if Array.unsafe_get t.tlb_vpage slot = vpage then
+      Array.unsafe_get t.tlb_ppage slot
+    else begin
+      let p = physical_page t vpage in
+      Array.unsafe_set t.tlb_vpage slot vpage;
+      Array.unsafe_set t.tlb_ppage slot p;
+      p
+    end
+  in
+  (ppage lsl page_bits) lor (vaddr land offset_mask)

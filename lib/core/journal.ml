@@ -4,6 +4,8 @@ type identity = Manifest.identity = {
   seed : int;
   jobs : int;
   injection : string;
+  batch : int;
+  compile_mode : string;
 }
 
 type stats = {

@@ -388,6 +388,8 @@ let fallback_identity j =
         seed = Option.value ~default:0 (get_int j "seed");
         jobs = Option.value ~default:0 (get_int j "jobs");
         injection = "none";
+        batch = Option.value ~default:0 (get_int j "batch");
+        compile_mode = Option.value ~default:"" (get_str j "compile_mode");
       }
 
 let counters_of_metrics m =
@@ -552,6 +554,8 @@ let normalize_profile ~file j =
                  seed = 0;
                  jobs = 0;
                  injection = "none";
+                 batch = 0;
+                 compile_mode = "";
                };
              schema = Option.value ~default:1 (get_int j "schema_version");
              total_seconds = 0.0;
@@ -947,6 +951,15 @@ let comparable a b =
   && a.identity.Manifest.seed = b.identity.Manifest.seed
   && a.identity.Manifest.jobs = b.identity.Manifest.jobs
   && a.identity.Manifest.injection = b.identity.Manifest.injection
+  (* Replay knobs postdate older ledgers: 0 / "" mean "unknown" and match
+     anything (so pre-replay fixtures stay pairable); two known-but-different
+     values are never comparable. *)
+  && (a.identity.Manifest.batch = b.identity.Manifest.batch
+     || a.identity.Manifest.batch = 0
+     || b.identity.Manifest.batch = 0)
+  && (a.identity.Manifest.compile_mode = b.identity.Manifest.compile_mode
+     || a.identity.Manifest.compile_mode = ""
+     || b.identity.Manifest.compile_mode = "")
 
 let latest_pair store =
   let newest_first = List.rev store.runs in
@@ -959,8 +972,10 @@ let latest_pair store =
           Error
             (Printf.sprintf
                "no earlier run is comparable to %s (%s): same config \
-                digest, seed, -j %d and injection signature required"
-               (short newest.run_id) newest.file newest.identity.Manifest.jobs))
+                digest, seed, -j %d, injection signature, replay batch %d \
+                and compile mode required"
+               (short newest.run_id) newest.file newest.identity.Manifest.jobs
+               newest.identity.Manifest.batch))
 
 let render_diff ~noise ~max_regress ~base_label ~next_label ~base ~next =
   let buf = Buffer.create 256 in

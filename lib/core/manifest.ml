@@ -21,6 +21,8 @@ type identity = {
   seed : int;
   jobs : int;
   injection : string;
+  batch : int;
+  compile_mode : string;
 }
 
 let config_json (c : Experiment.config) =
@@ -47,6 +49,8 @@ let current_identity ?config () =
     seed = (match config with Some c -> c.Experiment.seed | None -> 0);
     jobs = Util.Pool.default_jobs ();
     injection = Util.Resilience.injection_signature ();
+    batch = Testbed.Dut.default_batch ();
+    compile_mode = Ir.Compile.mode_to_string (Ir.Compile.default_mode ());
   }
 
 let identity_json (i : identity) =
@@ -57,6 +61,8 @@ let identity_json (i : identity) =
       ("seed", Obs.Json.Int i.seed);
       ("jobs", Obs.Json.Int i.jobs);
       ("injection", Obs.Json.Str i.injection);
+      ("batch", Obs.Json.Int i.batch);
+      ("compile_mode", Obs.Json.Str i.compile_mode);
     ]
 
 let identity_of_json j =
@@ -70,11 +76,22 @@ let identity_of_json j =
     | Some (Obs.Json.Int n) -> Ok n
     | _ -> Error (Printf.sprintf "identity: missing int field %S" k)
   in
+  (* [batch]/[compile_mode] postdate the replay-pipeline work; identities
+     recorded before it parse with the "unknown" markers (0 / ""), which the
+     comparability gates treat like a missing jobs count. *)
+  let batch = match Obs.Json.member "batch" j with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> 0
+  in
+  let compile_mode = match Obs.Json.member "compile_mode" j with
+    | Some (Obs.Json.Str s) -> s
+    | _ -> ""
+  in
   match (str "git", str "config_digest", int "seed", int "jobs",
          str "injection")
   with
   | Ok git, Ok config_digest, Ok seed, Ok jobs, Ok injection ->
-      Ok { git; config_digest; seed; jobs; injection }
+      Ok { git; config_digest; seed; jobs; injection; batch; compile_mode }
   | Error e, _, _, _, _
   | _, Error e, _, _, _
   | _, _, Error e, _, _
@@ -127,6 +144,13 @@ let make ?ids ?config ?(extra = []) () =
        ("generated_at_unix", Obs.Json.Float (Unix.gettimeofday ()));
        ("git", Obs.Json.Str (git_describe ()));
        ("jobs", Obs.Json.Int (Util.Pool.default_jobs ()));
+       (* Replay configuration: burst size and NFIR compile mode.  Top-level
+          (like [jobs]) so bench_diff's comparability gate can read them
+          without digging into per-entry identities. *)
+       ("batch", Obs.Json.Int (Testbed.Dut.default_batch ()));
+       ( "compile_mode",
+         Obs.Json.Str (Ir.Compile.mode_to_string (Ir.Compile.default_mode ()))
+       );
      ]
     @ (match ids with
       | Some l -> [ ("experiments", Obs.Json.List (List.map (fun i -> Obs.Json.Str i) l)) ]
@@ -144,6 +168,14 @@ let make ?ids ?config ?(extra = []) () =
         ("metrics", Obs.Metrics.snapshot ());
         ("solver_cache", solver_cache_json ());
         ("pool", pool_json ());
+        ( "replay",
+          Obs.Json.Obj
+            [
+              ("batch", Obs.Json.Int (Testbed.Dut.default_batch ()));
+              ( "compile_mode",
+                Obs.Json.Str
+                  (Ir.Compile.mode_to_string (Ir.Compile.default_mode ())) );
+            ] );
       ]
     (* Profiled runs carry their site-level attribution alongside the
        metrics snapshot, so one manifest fully describes the run. *)

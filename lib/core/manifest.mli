@@ -30,6 +30,9 @@ type identity = {
   seed : int;
   jobs : int;
   injection : string;  (** {!Util.Resilience.injection_signature} *)
+  batch : int;  (** replay burst size; [0] = unknown (identity predates the
+                    replay pipeline) *)
+  compile_mode : string;  (** {!Ir.Compile.mode_to_string}; [""] = unknown *)
 }
 
 val config_digest : Experiment.config -> string

@@ -4,17 +4,52 @@
    closure returning the next program counter.  Function calls recurse
    through a patched table, returns unwind with a local exception.
 
+   On top of the per-instruction closures, [Superblock] mode (the default)
+   fuses maximal straight-line runs of statically-weighted instructions —
+   Assign/Load/Store/Alloc, chained through unconditional jumps — into one
+   closure per run head that charges the whole run's retirement weight once
+   and then executes effect-only action closures back to back.  The fused
+   closure keeps a guard to the original per-instruction path, taken when
+   the profiler is live (per-instruction attribution must stay bit-identical)
+   or when the remaining budget is below the run's total weight (so
+   {!Interp.Budget_exhausted} fires at exactly the same instruction as the
+   unfused executor).  Dynamic-weight instructions (Call, Havoc) and control
+   (Branch, Return) always terminate a run.
+
    One semantic delta vs {!Interp}: reading a never-written variable yields
    0 instead of raising — well-formed NF code never does either. *)
 
+type mode = Instr | Superblock
+
+let default_mode_ref = ref Superblock
+let set_default_mode m = default_mode_ref := m
+let default_mode () = !default_mode_ref
+let mode_to_string = function Instr -> "instr" | Superblock -> "superblock"
+
+let mode_of_string = function
+  | "instr" -> Some Instr
+  | "superblock" -> Some Superblock
+  | _ -> None
+
+(* Concrete memory backing: the persistent overlay (rollback-on-raise, used
+   by {!call}/{!call_fn}) or the flat mutable store (no per-access tree
+   descent or allocation, used by the replay path).  The values read and
+   written are identical either way. *)
+type cmem = Persistent of int Memory.t | Flat of Memory.Flat.t
+
 type ctx = {
-  mutable mem : int Memory.t;
+  mutable mem : cmem;
   hooks : Interp.hooks;
   mutable instrs : int;
   mutable loads : int;
   mutable stores : int;
   mutable remaining : int;
 }
+
+let mem_read m ~addr ~width =
+  match m with
+  | Persistent m -> Memory.read m ~addr ~width
+  | Flat f -> Memory.Flat.read f ~addr ~width
 
 exception Ret of int
 
@@ -145,7 +180,7 @@ let compile_instr funcs slots pc (instr : Cfg.instr) : ctx -> int array -> int =
         let a = fa env in
         ctx.hooks.Interp.on_access ~addr:a ~width ~write:false;
         ctx.loads <- ctx.loads + 1;
-        env.(sd) <- Memory.read ctx.mem ~addr:a ~width;
+        env.(sd) <- mem_read ctx.mem ~addr:a ~width;
         next
   | Cfg.Store { addr; value; width } ->
       let fa = compile_expr slots addr and fv = compile_expr slots value in
@@ -155,15 +190,21 @@ let compile_instr funcs slots pc (instr : Cfg.instr) : ctx -> int array -> int =
         let a = fa env in
         ctx.hooks.Interp.on_access ~addr:a ~width ~write:true;
         ctx.stores <- ctx.stores + 1;
-        ctx.mem <- Memory.write ctx.mem ~addr:a ~width (fv env);
+        (match ctx.mem with
+        | Persistent m ->
+            ctx.mem <- Persistent (Memory.write m ~addr:a ~width (fv env))
+        | Flat f -> Memory.Flat.write f ~addr:a ~width (fv env));
         next
   | Cfg.Alloc { dst; bytes } ->
       let sd = slot dst and next = pc + 1 in
       fun ctx env ->
         spend ctx w;
-        let mem', base = Memory.alloc ctx.mem ~bytes in
-        ctx.mem <- mem';
-        env.(sd) <- base;
+        (match ctx.mem with
+        | Persistent m ->
+            let mem', base = Memory.alloc m ~bytes in
+            ctx.mem <- Persistent mem';
+            env.(sd) <- base
+        | Flat f -> env.(sd) <- Memory.Flat.alloc f ~bytes);
         next
   | Cfg.Branch { cond; if_true; if_false; loop_head = _ } ->
       let fc = compile_expr slots cond in
@@ -221,6 +262,139 @@ let instrument fname pc w code =
   end;
   code ctx env
 
+(* ------------------------------------------------------------------ *)
+(* Superblock fusion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Statically-weighted, fall-through instructions: the only ones whose cost
+   can be prefunded in one batch without moving the budget-exhaustion
+   point. *)
+let fusible = function
+  | Cfg.Assign _ | Cfg.Load _ | Cfg.Store _ | Cfg.Alloc _ -> true
+  | Cfg.Branch _ | Cfg.Jump _ | Cfg.Call _ | Cfg.Return _ | Cfg.Havoc _ ->
+      false
+
+(* Effect-only compilation of a fusible instruction: same memory, hook and
+   load/store-counter behavior as {!compile_instr}, but no [spend] (the
+   superblock prefunds it) and no next-pc (control is static). *)
+let compile_action slots (instr : Cfg.instr) : ctx -> int array -> unit =
+  let slot name = Hashtbl.find slots name in
+  match instr with
+  | Cfg.Assign (x, e) ->
+      let fe = compile_expr slots e in
+      let sx = slot x in
+      fun _ env -> env.(sx) <- fe env
+  | Cfg.Load { dst; addr; width } ->
+      let fa = compile_expr slots addr in
+      let sd = slot dst in
+      fun ctx env ->
+        let a = fa env in
+        ctx.hooks.Interp.on_access ~addr:a ~width ~write:false;
+        ctx.loads <- ctx.loads + 1;
+        env.(sd) <- mem_read ctx.mem ~addr:a ~width
+  | Cfg.Store { addr; value; width } ->
+      let fa = compile_expr slots addr and fv = compile_expr slots value in
+      fun ctx env ->
+        let a = fa env in
+        ctx.hooks.Interp.on_access ~addr:a ~width ~write:true;
+        ctx.stores <- ctx.stores + 1;
+        (match ctx.mem with
+        | Persistent m ->
+            ctx.mem <- Persistent (Memory.write m ~addr:a ~width (fv env))
+        | Flat f -> Memory.Flat.write f ~addr:a ~width (fv env))
+  | Cfg.Alloc { dst; bytes } ->
+      let sd = slot dst in
+      fun ctx env ->
+        (match ctx.mem with
+        | Persistent m ->
+            let mem', base = Memory.alloc m ~bytes in
+            ctx.mem <- Persistent mem';
+            env.(sd) <- base
+        | Flat f -> env.(sd) <- Memory.Flat.alloc f ~bytes)
+  | Cfg.Branch _ | Cfg.Jump _ | Cfg.Call _ | Cfg.Return _ | Cfg.Havoc _ ->
+      invalid_arg "Compile.compile_action: not a fusible instruction"
+
+(* Cap on how many instructions one superblock may absorb; bounds both the
+   chain walk at compile time and the prefunded weight at run time. *)
+let max_chain = 128
+
+(* Fuse runs into [base] (the per-instruction closure array).  Control can
+   enter an instruction only at pc 0, a branch/jump target, or by fall-
+   through; fused closures are installed at run heads, so entering a run
+   mid-way (necessarily at a jump target, which is itself a run head) never
+   double-charges. *)
+let superblockify slots (body : Cfg.instr array) base =
+  let n = Array.length body in
+  let is_leader = Array.make n false in
+  if n > 0 then is_leader.(0) <- true;
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Cfg.Branch { if_true; if_false; _ } ->
+          if if_true < n then is_leader.(if_true) <- true;
+          if if_false < n then is_leader.(if_false) <- true;
+      | Cfg.Jump target -> if target < n then is_leader.(target) <- true
+      | _ -> ())
+    body;
+  let code = Array.copy base in
+  for start = 0 to n - 1 do
+    let starts_run =
+      fusible body.(start)
+      && (start = 0 || is_leader.(start) || not (fusible body.(start - 1)))
+    in
+    if starts_run then begin
+      (* Walk the unique control path: fusible fall-throughs, chaining
+         through unconditional jumps (each visited at most once per chain,
+         so jump-only cycles terminate). *)
+      let visited = Hashtbl.create 8 in
+      let actions = ref [] and total = ref 0 and steps = ref 0 in
+      let pc = ref start in
+      let stop = ref false in
+      while (not !stop) && !steps < max_chain && !pc < n do
+        if Hashtbl.mem visited !pc then stop := true
+        else begin
+          Hashtbl.replace visited !pc ();
+          match body.(!pc) with
+          | Cfg.Jump target ->
+              total := !total + Cfg.weight body.(!pc);
+              incr steps;
+              pc := target
+          | instr when fusible instr ->
+              total := !total + Cfg.weight instr;
+              actions := compile_action slots instr :: !actions;
+              incr steps;
+              incr pc
+          | _ -> stop := true
+        end
+      done;
+      if !steps >= 2 then begin
+        let acts = Array.of_list (List.rev !actions) in
+        let na = Array.length acts in
+        let w_total = !total and n_steps = !steps and next = !pc in
+        code.(start) <-
+          (fun ctx env ->
+            if Obs.Profile.enabled () || ctx.remaining < w_total then begin
+              (* Per-instruction path: exact profile attribution, and the
+                 budget raises at precisely the unfused instruction. *)
+              let pc = ref start in
+              for _ = 1 to n_steps do
+                pc := (Array.unsafe_get base !pc) ctx env
+              done;
+              !pc
+            end
+            else begin
+              ctx.instrs <- ctx.instrs + w_total;
+              ctx.remaining <- ctx.remaining - w_total;
+              for i = 0 to na - 1 do
+                (Array.unsafe_get acts i) ctx env
+              done;
+              next
+            end)
+      end
+    end
+  done;
+  code
+
 let exec ctx (f : cfunc) argv =
   if Array.length argv <> Array.length f.param_slots then
     invalid_arg ("Compile: arity mismatch calling " ^ f.cf_name);
@@ -236,7 +410,8 @@ let exec ctx (f : cfunc) argv =
 
 let () = exec_ref := exec
 
-let program (p : Cfg.t) =
+let program ?mode (p : Cfg.t) =
+  let mode = match mode with Some m -> m | None -> !default_mode_ref in
   let funcs = Hashtbl.create 16 in
   (* placeholders first so calls can resolve in one pass *)
   Hashtbl.iter
@@ -255,24 +430,55 @@ let program (p : Cfg.t) =
     (fun name (f : Cfg.func) ->
       let slots = collect_vars f in
       let cf = Hashtbl.find funcs name in
-      cf.code <-
+      let base =
         Array.mapi
           (fun pc instr ->
             instrument name pc (Cfg.weight instr)
               (compile_instr funcs slots pc instr))
-          f.body)
+          f.body
+      in
+      cf.code <-
+        (match mode with
+        | Instr -> base
+        | Superblock -> superblockify slots f.body base))
     p.Cfg.funcs;
   { funcs; entry = p.Cfg.entry }
 
-let call t ~mem ~hooks ?(budget = 10_000_000) fname args =
-  let f =
-    match Hashtbl.find_opt t.funcs fname with
-    | Some f -> f
-    | None -> invalid_arg ("Compile.call: unknown function " ^ fname)
-  in
+type fn = cfunc
+
+let lookup t fname =
+  match Hashtbl.find_opt t.funcs fname with
+  | Some f -> f
+  | None -> invalid_arg ("Compile.lookup: unknown function " ^ fname)
+
+let call_fn (f : fn) ~mem ~hooks ?(budget = 10_000_000) argv =
   let ctx =
-    { mem = !mem; hooks; instrs = 0; loads = 0; stores = 0; remaining = budget }
+    {
+      mem = Persistent !mem;
+      hooks;
+      instrs = 0;
+      loads = 0;
+      stores = 0;
+      remaining = budget;
+    }
   in
-  let ret = exec ctx f (Array.of_list args) in
-  mem := ctx.mem;
+  let ret = exec ctx f argv in
+  (match ctx.mem with Persistent m -> mem := m | Flat _ -> assert false);
   { Interp.ret; instrs = ctx.instrs; loads = ctx.loads; stores = ctx.stores }
+
+let call_fn_flat (f : fn) ~fmem ~hooks ?(budget = 10_000_000) argv =
+  let ctx =
+    {
+      mem = Flat fmem;
+      hooks;
+      instrs = 0;
+      loads = 0;
+      stores = 0;
+      remaining = budget;
+    }
+  in
+  let ret = exec ctx f argv in
+  { Interp.ret; instrs = ctx.instrs; loads = ctx.loads; stores = ctx.stores }
+
+let call t ~mem ~hooks ?budget fname args =
+  call_fn (lookup t fname) ~mem ~hooks ?budget (Array.of_list args)

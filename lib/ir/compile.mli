@@ -6,12 +6,64 @@
     {!Interp} (a differential qcheck property in the test suite), several
     times faster; the testbed DUT replays millions of packets through it.
 
+    In [Superblock] mode (the default), maximal straight-line runs of
+    statically-weighted instructions (chained through unconditional jumps)
+    are additionally fused into single closures that charge the run's
+    retirement weight once.  Outcomes, memory effects, hook-access
+    sequences, budget-exhaustion points and — when the profiler is live —
+    per-instruction attribution are all bit-identical to [Instr] mode,
+    which executes one closure per instruction.
+
     Restrictions match {!Interp}: concrete values only, budget-guarded. *)
 
 type t
 
-val program : Cfg.t -> t
-(** Compile all functions. *)
+type mode = Instr | Superblock
+
+val set_default_mode : mode -> unit
+(** Process-wide default for {!program} calls that don't pass [?mode]
+    (set once at startup by the CLI's [--compile-mode]). *)
+
+val default_mode : unit -> mode
+
+val mode_to_string : mode -> string
+(** ["instr"] / ["superblock"] — the manifest/CLI spelling. *)
+
+val mode_of_string : string -> mode option
+
+val program : ?mode:mode -> Cfg.t -> t
+(** Compile all functions; [mode] defaults to {!default_mode}. *)
+
+type fn
+(** A resolved compiled function: look it up once, call it per packet
+    without the per-call table probe. *)
+
+val lookup : t -> string -> fn
+(** @raise Invalid_argument on an unknown function name. *)
+
+val call_fn :
+  fn ->
+  mem:int Memory.t ref ->
+  hooks:Interp.hooks ->
+  ?budget:int ->
+  int array ->
+  Interp.outcome
+(** Same contract as {!call}, minus the name resolution and argument-list
+    conversion.
+    @raise Interp.Budget_exhausted when the instruction bound is hit. *)
+
+val call_fn_flat :
+  fn ->
+  fmem:Memory.Flat.t ->
+  hooks:Interp.hooks ->
+  ?budget:int ->
+  int array ->
+  Interp.outcome
+(** {!call_fn} against a {!Memory.Flat} store — the replay hot path: no
+    per-access map descent, no per-store allocation.  Reads and writes the
+    same values as the persistent path; on raise (budget exhaustion),
+    partial writes stay in [fmem] instead of rolling back.
+    @raise Interp.Budget_exhausted when the instruction bound is hit. *)
 
 val call :
   t ->

@@ -167,3 +167,142 @@ let alloc t ~bytes =
 
 let heap_used t = t.heap_next - t.heap_base
 let written_cells t = Imap.cardinal t.overlay
+
+(* ------------------------------------------------------------------ *)
+(* Flat concrete store                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type 'v mem = 'v t
+
+module Flat = struct
+  (* Written cells live in a per-region mutable store; untouched cells
+     still read through the region's lazy initializer, so a gigabyte-scale
+     direct-lookup table stays unmaterialized exactly as in the persistent
+     overlay.  Small regions (the heap, counters, hash-table buckets — the
+     write-hot ones) get a dense value array plus a written bitmap: O(1)
+     access, no allocation after creation.  Huge regions get a hashtable
+     keyed by element index, so a single scattered write never materializes
+     anything around it. *)
+  let dense_max = 1 lsl 18 (* elements; 2 MiB of values per region *)
+
+  type store =
+    | Dense of { values : int array; written : Bytes.t }
+    | Sparse of (int, int) Hashtbl.t (* element index -> written value *)
+
+  type fregion = { r : region; store : store }
+
+  type t = {
+    fregions : fregion array; (* sorted by base, heap included *)
+    inject : int -> int;
+    mutable heap_next : int;
+    heap_base : int;
+    heap_end : int;
+  }
+
+  let of_memory (m : int mem) =
+    let fregions =
+      Array.map
+        (fun r ->
+          let store =
+            if r.count <= dense_max then
+              Dense
+                {
+                  values = Array.make r.count 0;
+                  written = Bytes.make ((r.count + 7) / 8) '\000';
+                }
+            else Sparse (Hashtbl.create 64)
+          in
+          { r; store })
+        m.regions
+    in
+    let t =
+      {
+        fregions;
+        inject = m.inject;
+        heap_next = m.heap_next;
+        heap_base = m.heap_base;
+        heap_end = m.heap_end;
+      }
+    in
+    (t, Imap.bindings m.overlay)
+
+  let find t addr =
+    let n = Array.length t.fregions in
+    let lo = ref 0 and hi = ref (n - 1) in
+    let found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let fr = Array.unsafe_get t.fregions mid in
+      if addr < fr.r.base then hi := mid - 1
+      else if addr >= region_end fr.r then lo := mid + 1
+      else begin
+        found := Some fr;
+        lo := !hi + 1
+      end
+    done;
+    match !found with
+    | Some fr -> fr
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Memory.find_region: 0x%x out of bounds" addr)
+
+  let checked_index fr addr width =
+    if width <> fr.r.elem_width then
+      invalid_arg
+        (Printf.sprintf "Memory: %d-byte access in region %s (elem width %d)"
+           width fr.r.name fr.r.elem_width)
+    else if (addr - fr.r.base) mod fr.r.elem_width <> 0 then
+      invalid_arg
+        (Printf.sprintf "Memory: misaligned access 0x%x in region %s" addr
+           fr.r.name)
+    else (addr - fr.r.base) / fr.r.elem_width
+
+  let read t ~addr ~width =
+    let fr = find t addr in
+    let idx = checked_index fr addr width in
+    match fr.store with
+    | Dense { values; written } ->
+        if
+          Char.code (Bytes.unsafe_get written (idx lsr 3))
+          land (1 lsl (idx land 7))
+          <> 0
+        then Array.unsafe_get values idx
+        else t.inject (fr.r.init idx)
+    | Sparse h -> (
+        match Hashtbl.find_opt h idx with
+        | Some v -> v
+        | None -> t.inject (fr.r.init idx))
+
+  let write t ~addr ~width v =
+    let fr = find t addr in
+    let idx = checked_index fr addr width in
+    match fr.store with
+    | Dense { values; written } ->
+        Array.unsafe_set values idx v;
+        let byte = idx lsr 3 in
+        Bytes.unsafe_set written byte
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get written byte) lor (1 lsl (idx land 7))))
+    | Sparse h -> Hashtbl.replace h idx v
+
+  let alloc t ~bytes =
+    let bytes = round_up (max bytes 1) 64 in
+    if t.heap_next + bytes > t.heap_end then
+      invalid_arg "Memory.alloc: heap exhausted"
+    else begin
+      let base = t.heap_next in
+      t.heap_next <- t.heap_next + bytes;
+      base
+    end
+
+  let heap_used t = t.heap_next - t.heap_base
+end
+
+let flat_of_memory m =
+  let t, overlay = Flat.of_memory m in
+  List.iter
+    (fun (addr, v) ->
+      let fr = Flat.find t addr in
+      Flat.write t ~addr ~width:fr.Flat.r.elem_width v)
+    overlay;
+  t

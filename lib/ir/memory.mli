@@ -89,3 +89,32 @@ val heap_used : 'v t -> int
 
 val written_cells : 'v t -> int
 (** Number of overlay cells (diagnostics). *)
+
+(** {2 Flat concrete store}
+
+    A mutable view for concrete replay: written cells live in chunked
+    arrays allocated on first write (with a per-chunk written bitmap), and
+    untouched cells still read through the region's lazy initializer — so
+    gigabyte-scale tables stay unmaterialized, while the hot path is an
+    array index instead of a persistent-map descent.  Same addressing
+    discipline and error messages as {!read}/{!write}/{!alloc}.  Because
+    updates mutate in place, a computation aborted mid-way (e.g. on
+    {!Interp.Budget_exhausted}) leaves its partial writes behind — use the
+    persistent [t] where rollback-on-raise matters. *)
+module Flat : sig
+  type t
+
+  val read : t -> addr:int -> width:int -> int
+  val write : t -> addr:int -> width:int -> int -> unit
+
+  val alloc : t -> bytes:int -> int
+  (** Bump allocation, 64-byte rounded, mutating the heap cursor.
+      @raise Invalid_argument when the heap is exhausted. *)
+
+  val heap_used : t -> int
+end
+
+val flat_of_memory : int t -> Flat.t
+(** Materializes the region layout, heap cursor and current overlay of a
+    concrete memory into a flat store (the overlay is replayed as writes;
+    regions themselves stay lazy). *)

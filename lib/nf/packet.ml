@@ -38,6 +38,15 @@ let field_of_name name =
 let args_for (f : Ir.Cfg.func) p =
   List.map (fun param -> field p (field_of_name param)) f.params
 
+(* Resolve the parameter-name -> field mapping once; the replay hot path
+   then fills a caller-owned buffer with no per-packet name lookups or list
+   allocation. *)
+let fields_for (f : Ir.Cfg.func) =
+  Array.of_list (List.map field_of_name f.params)
+
+let fill_args fields p argv =
+  Array.iteri (fun i fld -> argv.(i) <- field p fld) fields
+
 let of_model m ~n =
   List.init n (fun pkt ->
       let get f = Solver.Solve.Model.get m (Ir.Expr.Pkt { pkt; field = f }) in

@@ -26,6 +26,14 @@ val args_for : Ir.Cfg.func -> t -> int list
 (** Arguments for an NF entry function, in its parameter order (parameters
     are named after packet fields). *)
 
+val fields_for : Ir.Cfg.func -> Ir.Expr.field array
+(** The packet fields behind an entry function's parameters, resolved once
+    (each parameter is named after a field). *)
+
+val fill_args : Ir.Expr.field array -> t -> int array -> unit
+(** [fill_args fields p argv] writes [field p fields.(i)] into [argv.(i)] —
+    the allocation-free counterpart of {!args_for} for the replay path. *)
+
 val of_model : Solver.Solve.Model.t -> n:int -> t list
 (** Extracts the [n] packets of a satisfying model; unconstrained fields
     default to 0 and are then normalized to benign values (proto becomes UDP

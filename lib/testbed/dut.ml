@@ -1,8 +1,17 @@
 type t = {
   nf : Nf.Nf_def.t;
   compiled : Ir.Compile.t;
+  (* Resolved once at creation: the entry point's compiled body, its packet-
+     field parameter order, and a reusable argument buffer — the per-packet
+     path never re-resolves the NF or allocates an argument list. *)
+  entry_fn : Ir.Compile.fn;
+  entry_fields : Ir.Expr.field array;
+  argv : int array;
   machine : Cache.Probe.machine;
-  mem : int Ir.Memory.t ref;
+  (* Flat mutable memory: replay never needs snapshot/rollback, and the
+     persistent overlay's tree descent per access would dominate the
+     packet loop. *)
+  fmem : Ir.Memory.Flat.t;
   hooks : Ir.Interp.hooks;
   cycles_acc : int ref;
   misses_acc : int ref;
@@ -21,6 +30,14 @@ let overhead_cycles = 700
    place them in a high 1GB page of their own. *)
 let mbuf_pool_lines = 4096
 let desc_ring_lines = 512
+
+(* DPDK-style burst size: how many packets one replay dispatch pushes
+   through the DUT back to back.  Replay output is identical for every
+   value (bursts only group the same per-packet pipeline); the knob exists
+   for the perf gate and is recorded in run manifests. *)
+let default_batch_ref = ref 32
+let set_default_batch b = if b >= 1 then default_batch_ref := b
+let default_batch () = !default_batch_ref
 
 let op_cycles weight = max 1 (weight * 3 / 5)
 
@@ -50,11 +67,17 @@ let create ?(slice_seed = 0) ?(vmem_seed = 17) ?(geom = Cache.Geometry.xeon_e5_2
       hash_weight = (fun name -> (Hashrev.Hashes.lookup name).weight);
     }
   in
+  let compiled = Ir.Compile.program nf.Nf.Nf_def.program in
+  let entry = Ir.Cfg.entry_func nf.Nf.Nf_def.program in
+  let entry_fields = Nf.Packet.fields_for entry in
   {
     nf;
-    compiled = Ir.Compile.program nf.Nf.Nf_def.program;
+    compiled;
+    entry_fn = Ir.Compile.lookup compiled "process";
+    entry_fields;
+    argv = Array.make (Array.length entry_fields) 0;
     machine;
-    mem = ref (Nf.Nf_def.fresh_memory nf);
+    fmem = Ir.Memory.flat_of_memory (Nf.Nf_def.fresh_memory nf);
     hooks;
     cycles_acc;
     misses_acc;
@@ -106,11 +129,8 @@ let process t p =
   t.misses_acc := 0;
   dpdk_path t;
   incr t.pkt_count;
-  let entry = Ir.Cfg.entry_func t.nf.Nf.Nf_def.program in
-  let o =
-    Ir.Compile.call t.compiled ~mem:t.mem ~hooks:t.hooks "process"
-      (Nf.Packet.args_for entry p)
-  in
+  Nf.Packet.fill_args t.entry_fields p t.argv;
+  let o = Ir.Compile.call_fn_flat t.entry_fn ~fmem:t.fmem ~hooks:t.hooks t.argv in
   (* Non-memory work: instruction retirement at the calibrated CPI.  Memory
      latencies were accumulated by the access hook. *)
   let nf_cycles = op_cycles o.Ir.Interp.instrs in
@@ -121,11 +141,88 @@ let process t p =
     ret = o.Ir.Interp.ret;
   }
 
-let replay t w ~samples =
+(* Observationally [Array.map (process t)]: the burst only amortizes
+   dispatch around the identical per-packet pipeline, which is what makes
+   batch size a pure performance knob (pinned by qcheck). *)
+let process_burst t pkts =
+  let n = Array.length pkts in
+  let out =
+    Array.make n { cycles = 0; instrs = 0; l3_misses = 0; ret = 0 }
+  in
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i (process t (Array.unsafe_get pkts i))
+  done;
+  out
+
+let m_replay_packets = Obs.Metrics.counter "replay.packets"
+let m_replay_bursts = Obs.Metrics.counter "replay.bursts"
+let m_replay_shards = Obs.Metrics.counter "replay.shards"
+
+let replay ?batch t w ~samples =
+  let batch = match batch with Some b -> max 1 b | None -> !default_batch_ref in
   let r, dt =
     Obs.Trace.timed "dut.replay"
-      ~args:[ ("samples", Obs.Json.Int samples) ]
-      (fun () -> Array.init samples (fun k -> process t (Workload.nth_looped w k)))
+      ~args:
+        [
+          ("samples", Obs.Json.Int samples); ("batch", Obs.Json.Int batch);
+        ]
+      (fun () ->
+        let out =
+          Array.make samples { cycles = 0; instrs = 0; l3_misses = 0; ret = 0 }
+        in
+        let burst = ref [||] in
+        let k = ref 0 in
+        while !k < samples do
+          let n = min batch (samples - !k) in
+          if Array.length !burst <> n then
+            burst := Array.make n (Workload.nth_looped w 0);
+          let b = !burst in
+          for i = 0 to n - 1 do
+            Array.unsafe_set b i (Workload.nth_looped w (!k + i))
+          done;
+          let s = process_burst t b in
+          Array.blit s 0 out !k n;
+          Obs.Metrics.incr m_replay_bursts;
+          k := !k + n
+        done;
+        Obs.Metrics.incr ~by:samples m_replay_packets;
+        out)
   in
   if Obs.Profile.enabled () then Obs.Profile.add_timer "replay" dt;
   r
+
+(* Shard boundaries depend only on (samples, shards) — never on the job
+   count — so the merged stream is bit-identical for every [-j]. *)
+let shard_range ~samples ~shards i =
+  let base = samples / shards and rem = samples mod shards in
+  let lo = (i * base) + min i rem in
+  let hi = lo + base + (if i < rem then 1 else 0) in
+  (lo, hi)
+
+let replay_sharded ?batch ?(shards = 1) ~make w ~samples =
+  if shards <= 1 then replay ?batch (make ~shard:0) w ~samples
+  else begin
+    (* Each shard is its own simulated core: a fresh DUT (own cache
+       hierarchy, own page placement, own descriptor/mbuf rings) replaying
+       a contiguous slice of the packet index space; slices are then
+       concatenated in shard-index order.  One pool task per shard. *)
+    let slices =
+      Util.Pool.map
+        (fun i ->
+          let lo, hi = shard_range ~samples ~shards i in
+          let dut = make ~shard:i in
+          let shifted =
+            {
+              Workload.name = w.Workload.name;
+              packets =
+                Array.init (max 1 (hi - lo)) (fun j ->
+                    Workload.nth_looped w (lo + j));
+            }
+          in
+          if hi > lo then replay ?batch dut shifted ~samples:(hi - lo)
+          else [||])
+        (List.init shards (fun i -> i))
+    in
+    Obs.Metrics.incr ~by:shards m_replay_shards;
+    Array.concat slices
+  end

@@ -27,8 +27,43 @@ type sample = {
 
 val process : t -> Nf.Packet.t -> sample
 
-val replay : t -> Workload.t -> samples:int -> sample array
-(** Replays the workload (looping as needed) for [samples] packets. *)
+val process_burst : t -> Nf.Packet.t array -> sample array
+(** DPDK-style burst receive: pushes a batch of packets through the
+    compiled NF back to back.  Observationally identical to
+    [Array.map (process t)] (pinned by qcheck); exists to amortize
+    dispatch and bookkeeping across the burst. *)
+
+val set_default_batch : int -> unit
+(** Process-wide replay burst size (default 32; values < 1 are ignored).
+    Replay output is bit-identical for every batch size. *)
+
+val default_batch : unit -> int
+
+val replay : ?batch:int -> t -> Workload.t -> samples:int -> sample array
+(** Replays the workload (looping as needed) for [samples] packets, in
+    bursts of [batch] (default {!default_batch}).  The sample array is
+    identical for every [batch]. *)
+
+val shard_range : samples:int -> shards:int -> int -> (int * int)
+(** [shard_range ~samples ~shards i] is shard [i]'s half-open packet-index
+    slice [\[lo, hi)].  The slices partition [\[0, samples)] contiguously in
+    shard order and depend only on [samples] and [shards] — never on the job
+    count — which is what makes the sharded merge deterministic. *)
+
+val replay_sharded :
+  ?batch:int ->
+  ?shards:int ->
+  make:(shard:int -> t) ->
+  Workload.t ->
+  samples:int ->
+  sample array
+(** Shards the packet index space into [shards] contiguous slices (split
+    arithmetic depends only on [samples] and [shards]), replays each slice
+    on its own DUT — [make ~shard:i] builds shard [i]'s simulated core,
+    typically with a {!Util.Rng.split_ix}-derived page placement — as one
+    {!Util.Pool} task per shard, and concatenates the slices in shard-index
+    order.  Bit-identical for every job count and batch size; [shards = 1]
+    (the default) is exactly [replay (make ~shard:0)]. *)
 
 val overhead_instrs : int
 (** The DPDK/driver path: 270 instructions... *)

@@ -14,14 +14,24 @@ let tg_base_ns rng =
 let clock_ghz = 3.3
 
 let measure ?(seed = 42) ?(samples = 20_000) ?(prefetch = false) ?(ddio = false)
-    ?(slice_seed = 0) nf w =
-  let dut = Dut.create ~slice_seed ~prefetch ~ddio nf in
+    ?(slice_seed = 0) ?(shards = 1) ?batch nf w =
+  (* Shard [i] is its own simulated core: shard 0 keeps the canonical page
+     placement (so [shards = 1] is bit-for-bit the classic serial replay);
+     each further shard draws a fresh placement from an index-derived
+     stream, like a separate process pinned to another core. *)
+  let shard_root = Util.Rng.create (0xd0 + seed) in
+  let make ~shard =
+    if shard = 0 then Dut.create ~slice_seed ~prefetch ~ddio nf
+    else
+      let vmem_seed = Util.Rng.int (Util.Rng.split_ix shard_root shard) 0x3FFFFFFF in
+      Dut.create ~slice_seed ~vmem_seed ~prefetch ~ddio nf
+  in
   (* Packet [i]'s TG-path noise comes from its own index-derived stream
      ({!Util.Rng.split_ix}), so the latency array depends only on (seed, i)
      — not on how many draws preceded it — which keeps measurements
      identical whether workloads run serially or on pool workers. *)
   let root = Util.Rng.create (0x7b + seed) in
-  let dut_samples = Dut.replay dut w ~samples in
+  let dut_samples = Dut.replay_sharded ?batch ~shards ~make w ~samples in
   let latencies =
     Array.mapi
       (fun i (s : Dut.sample) ->
@@ -31,10 +41,12 @@ let measure ?(seed = 42) ?(samples = 20_000) ?(prefetch = false) ?(ddio = false)
   in
   { workload = w.Workload.name; latencies_ns = latencies; samples = dut_samples }
 
-let measure_all ?seed ?samples ?prefetch ?ddio ?slice_seed nf pairs =
+let measure_all ?seed ?samples ?prefetch ?ddio ?slice_seed ?shards ?batch nf
+    pairs =
   (* One pool task per workload.  The DUT is stateful across packets (cache
      warming), so the parallel grain is a whole measurement, never slices of
-     one; each task builds its own DUT from the same seeds. *)
+     one; each task builds its own DUT from the same seeds.  (Sharded
+     replay inside a task runs serial: nested pool maps don't spawn.) *)
   Util.Pool.map
     (fun (label, w) ->
       Obs.Trace.with_span "measure"
@@ -44,7 +56,9 @@ let measure_all ?seed ?samples ?prefetch ?ddio ?slice_seed nf pairs =
             ("nf", Obs.Json.Str nf.Nf.Nf_def.name);
           ]
         (fun () ->
-          (label, measure ?seed ?samples ?prefetch ?ddio ?slice_seed nf w)))
+          ( label,
+            measure ?seed ?samples ?prefetch ?ddio ?slice_seed ?shards ?batch
+              nf w )))
     pairs
 
 let latency_cdf m = Util.Stats.cdf_of_samples m.latencies_ns
@@ -70,31 +84,45 @@ let nop_baseline ?(seed = 42) ?(samples = 20_000) () =
 let deviation_from_nop_ns m ~nop = median_latency_ns m -. median_latency_ns nop
 
 (* Deterministic arrivals at [rate_pps] against recorded service times;
-   finite descriptor queue; returns the drop fraction. *)
-let loss_at_rate ~queue_depth ~service_s rate_pps =
+   finite descriptor queue.  The backlog of departure deadlines lives in a
+   fixed circular float array (never more than [queue_depth] entries), not a
+   [Queue.t] of boxed floats — the bisection in {!max_throughput_mpps} runs
+   this loop a dozen times over every recorded sample, so per-packet
+   allocation is what the experiment ends up timing.  [max_dropped < n]
+   turns it into a feasibility check with an early exit: the moment the drop
+   count exceeds the budget, the verdict is known.  Returns the drop count,
+   or [max_dropped + 1] on early exit. *)
+let drops_at_rate ~queue_depth ~service_s ?(max_dropped = max_int) rate_pps =
   let n = Array.length service_s in
   let interval = 1.0 /. rate_pps in
   let dropped = ref 0 in
-  (* The queue holds departure-deadline state: [busy_until] is when the
-     server frees up after finishing everything accepted so far; [in_queue]
-     tracks how many accepted packets are still waiting or in service. *)
+  (* [busy_until] is when the server frees up after finishing everything
+     accepted so far; the ring holds the deadlines still waiting or in
+     service, oldest at [head]. *)
   let busy_until = ref 0.0 in
-  let backlog = Queue.create () in
-  for k = 0 to n - 1 do
-    let now = float_of_int k *. interval in
+  let ring = Array.make (queue_depth + 1) 0.0 in
+  let head = ref 0 and len = ref 0 in
+  let cap = queue_depth + 1 in
+  let k = ref 0 in
+  while !k < n && !dropped <= max_dropped do
+    let now = float_of_int !k *. interval in
     (* Retire everything that finished by now. *)
-    while (not (Queue.is_empty backlog)) && Queue.peek backlog <= now do
-      ignore (Queue.pop backlog)
+    while !len > 0 && ring.(!head) <= now do
+      head := if !head + 1 = cap then 0 else !head + 1;
+      decr len
     done;
-    if Queue.length backlog >= queue_depth then incr dropped
+    if !len >= queue_depth then incr dropped
     else begin
       let start = if !busy_until > now then !busy_until else now in
-      let finish = start +. service_s.(k) in
+      let finish = start +. service_s.(!k) in
       busy_until := finish;
-      Queue.push finish backlog
-    end
+      let tail = !head + !len in
+      ring.(if tail >= cap then tail - cap else tail) <- finish;
+      incr len
+    end;
+    incr k
   done;
-  float_of_int !dropped /. float_of_int n
+  !dropped
 
 (* Per-packet sojourn times (queueing + service) at a fixed offered rate:
    what a partially adversarial stream does to everyone behind it in the
@@ -134,7 +162,23 @@ let max_throughput_mpps ?(queue_depth = 512) ?(loss_target = 0.01) m =
       (fun (s : Dut.sample) -> float_of_int s.cycles /. clock_ghz /. 1e9)
       m.samples
   in
-  let ok rate = loss_at_rate ~queue_depth ~service_s (rate *. 1e6) <= loss_target in
+  let n = Array.length service_s in
+  (* The largest drop count whose fraction still passes the target, under
+     the same float division the loss fraction would go through — so the
+     early-exit feasibility check below agrees bit-for-bit with comparing
+     [loss_at_rate] against [loss_target]. *)
+  let max_dropped =
+    let d = ref (int_of_float (loss_target *. float_of_int n)) in
+    while float_of_int (!d + 1) /. float_of_int n <= loss_target do incr d done;
+    while !d > 0 && float_of_int !d /. float_of_int n > loss_target do
+      decr d
+    done;
+    !d
+  in
+  let ok rate =
+    drops_at_rate ~queue_depth ~service_s ~max_dropped (rate *. 1e6)
+    <= max_dropped
+  in
   (* NIC line rate bounds the search; bisect to 0.01 Mpps. *)
   let lo = ref 0.05 and hi = ref 14.88 in
   if ok !hi then !hi

@@ -12,6 +12,7 @@ let () =
       ("symbex", Test_symbex.tests);
       ("nf", Test_nf.tests);
       ("testbed", Test_testbed.tests);
+      ("replay", Test_replay.tests);
       ("core", Test_core.tests);
       ("resilience", Test_resilience.tests);
       ("journal", Test_journal.tests);

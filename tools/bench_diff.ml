@@ -23,8 +23,9 @@
 
    Exit 0 when no experiment regressed beyond the gate, 1 when at least one
    did, 2 on usage or file errors — or when the two sides record different
-   worker-pool job counts ([jobs]), in which case their wall times are not
-   comparable and the gate is skipped with a warning. *)
+   worker-pool job counts ([jobs]) or replay burst sizes ([batch]), in which
+   case their wall times are not comparable and the gate is skipped with a
+   warning. *)
 
 let usage_exit () =
   prerr_endline
@@ -78,6 +79,16 @@ let jobs_of path =
       | Some (Obs.Json.Int j) -> Some j
       | _ -> None)
 
+(* Top-level [batch] (replay burst size); [None] for manifests predating the
+   replay pipeline. *)
+let batch_of path =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj -> (
+      match Obs.Json.member "batch" obj with
+      | Some (Obs.Json.Int b) when b > 0 -> Some b
+      | _ -> None)
+
 (* Latest two BENCH_*.json in [dir] by (mtime, name); the older of the pair
    is the baseline. *)
 let latest_two dir =
@@ -98,6 +109,10 @@ let latest_two dir =
   | _ -> fail "%s: need at least two BENCH_*.json files to diff" dir
 
 let jobs_label = function Some j -> Printf.sprintf "-j %d" j | None -> "-j ?"
+
+let batch_label = function
+  | Some b -> Printf.sprintf "batch %d" b
+  | None -> "batch ?"
 
 let () =
   let max_regress = ref 20.0 in
@@ -129,10 +144,14 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (* (label, jobs if known, (id, seconds) list) for each side.  With
+  (* (label, jobs if known, batch if known, lazy (id, seconds) list) for
+     each side.  Timings stay lazy so the identity gates below run first: a
+     pair refused for mismatched jobs/batch is named as such even when one
+     side is a run manifest with no [experiments_timed] at all.  With
      --against, the baseline comes out of the lab ledger; both paths share
      the same gate via Castan.Lab.render_diff. *)
-  let (base_label, base_jobs, base), (new_label, new_jobs, next) =
+  let (base_label, base_jobs, base_batch, base), (new_label, new_jobs,
+                                                  new_batch, next) =
     match !against with
     | Some selector ->
         let new_path =
@@ -150,12 +169,20 @@ let () =
           let j = run.Castan.Lab.identity.Castan.Manifest.jobs in
           if j > 0 then Some j else None
         in
+        let base_batch =
+          let b = run.Castan.Lab.identity.Castan.Manifest.batch in
+          if b > 0 then Some b else None
+        in
         ( ( Printf.sprintf "%s@%s"
               (String.sub run.Castan.Lab.run_id 0 12)
               run.Castan.Lab.file,
             base_jobs,
-            Castan.Lab.timings run ),
-          (new_path, jobs_of new_path, timings new_path) )
+            base_batch,
+            lazy (Castan.Lab.timings run) ),
+          ( new_path,
+            jobs_of new_path,
+            batch_of new_path,
+            lazy (timings new_path) ) )
     | None ->
         let base_path, new_path =
           match !positional with
@@ -164,8 +191,14 @@ let () =
           | [ base; next ] -> (base, next)
           | _ -> usage_exit ()
         in
-        ( (base_path, jobs_of base_path, timings base_path),
-          (new_path, jobs_of new_path, timings new_path) )
+        ( ( base_path,
+            jobs_of base_path,
+            batch_of base_path,
+            lazy (timings base_path) ),
+          ( new_path,
+            jobs_of new_path,
+            batch_of new_path,
+            lazy (timings new_path) ) )
   in
   (* Wall times measured at different job counts answer different questions;
      refuse to gate on them rather than report a bogus regression.  The
@@ -178,9 +211,24 @@ let () =
       base_label (jobs_label base_jobs) new_label (jobs_label new_jobs);
     exit 2
   end;
+  (* Same story for the replay burst size: batching shifts dispatch and
+     bookkeeping costs, so wall times at different batch sizes answer
+     different questions.  A manifest predating the replay pipeline states
+     no [batch] and is given the benefit of the doubt (the speedup-over-seed
+     baseline pair depends on it); two manifests that both state a batch
+     must agree. *)
+  if base_batch <> new_batch && base_batch <> None && new_batch <> None
+  then begin
+    Printf.eprintf
+      "bench_diff: replay batch sizes differ (%s ran %s, %s ran %s); wall \
+       times are not comparable, skipping the regression gate\n"
+      base_label (batch_label base_batch) new_label (batch_label new_batch);
+    exit 2
+  end;
   let rendered, regressions =
     Castan.Lab.render_diff ~noise:!noise ~max_regress:!max_regress
-      ~base_label ~next_label:new_label ~base ~next
+      ~base_label ~next_label:new_label ~base:(Lazy.force base)
+      ~next:(Lazy.force next)
   in
   print_string rendered;
   if regressions > 0 then begin

@@ -19,6 +19,12 @@
                                            the worker pool promises to keep
                                            bit-identical (metrics, config,
                                            solver_cache) regardless of -j
+     check_telemetry replay FILE.json [MIN_PACKETS]
+                                        -- manifest records the replay
+                                           configuration (batch/compile
+                                           mode) and coherent replay.*
+                                           counters (>= MIN_PACKETS packets
+                                           if given)
      check_telemetry journal DIR [MANIFEST [WRITTEN REUSED]]
                                         -- a --journal directory: ledger
                                            well-formedness, segment md5 and
@@ -328,6 +334,69 @@ let check_pool_eq path_a path_b =
     fail "pool-eq: histogram counts differ between %s and %s" path_a path_b;
   Printf.printf "pool-eq: %s and %s agree on all deterministic sections\n"
     path_a path_b
+
+(* `check_telemetry replay FILE.json [MIN_PACKETS]`: a manifest from a run
+   that replayed packets must carry the replay configuration (top-level
+   [batch]/[compile_mode] and the [replay] section that mirrors them) and
+   the replay.* counters — with packets >= bursts >= 1 (a burst holds at
+   least one packet) and, when MIN_PACKETS is given, at least that many
+   packets replayed. *)
+let check_replay path min_packets =
+  match Obs.Json.parse (read_file path) with
+  | Error e -> fail "%s: not JSON: %s" path e
+  | Ok obj ->
+      let batch =
+        match Obs.Json.member "batch" obj with
+        | Some (Obs.Json.Int b) when b >= 1 -> b
+        | _ -> fail "%s: missing or non-positive batch field" path
+      in
+      let mode =
+        match get_str obj "compile_mode" with
+        | Some ("instr" | "superblock") as m -> Option.get m
+        | Some m -> fail "%s: unknown compile_mode %S" path m
+        | None -> fail "%s: missing compile_mode field" path
+      in
+      (match Obs.Json.member "replay" obj with
+      | Some r -> (
+          (match Obs.Json.member "batch" r with
+          | Some (Obs.Json.Int b) when b = batch -> ()
+          | _ -> fail "%s: replay.batch disagrees with top-level batch" path);
+          match get_str r "compile_mode" with
+          | Some m when m = mode -> ()
+          | _ ->
+              fail "%s: replay.compile_mode disagrees with top-level field"
+                path)
+      | None -> fail "%s: no replay section" path);
+      let counters =
+        match Obs.Json.member "metrics" obj with
+        | Some m -> (
+            match Obs.Json.member "counters" m with
+            | Some (Obs.Json.Obj c) -> c
+            | _ -> fail "%s: counters is not an object" path)
+        | None -> fail "%s: no metrics snapshot" path
+      in
+      let counter k =
+        match List.assoc_opt k counters with
+        | Some (Obs.Json.Int n) when n >= 0 -> n
+        | Some _ -> fail "%s: %s is not a non-negative integer" path k
+        | None -> fail "%s: %s counter missing" path k
+      in
+      let packets = counter "replay.packets"
+      and bursts = counter "replay.bursts" in
+      ignore (counter "replay.shards" : int);
+      if packets < 1 then fail "%s: replay.packets is 0" path;
+      if bursts < 1 then fail "%s: replay.bursts is 0" path;
+      if packets < bursts then
+        fail "%s: replay.packets (%d) < replay.bursts (%d)" path packets
+          bursts;
+      (match min_packets with
+      | Some m when packets < m ->
+          fail "%s: expected at least %d replayed packet(s), saw %d" path m
+            packets
+      | _ -> ());
+      Printf.printf
+        "%s: replay ok (batch %d, %s, %d packet(s) in %d burst(s))\n" path
+        batch mode packets bursts
 
 (* ------------------------------------------------------------------ *)
 (* Run journals                                                        *)
@@ -686,6 +755,11 @@ let () =
       | Some m when m >= 0 -> check_pool path (Some m)
       | _ -> fail "pool: MIN_TASKS must be a non-negative integer")
   | [| _; "pool-eq"; a; b |] -> check_pool_eq a b
+  | [| _; "replay"; path |] -> check_replay path None
+  | [| _; "replay"; path; min_packets |] -> (
+      match int_of_string_opt min_packets with
+      | Some m when m >= 0 -> check_replay path (Some m)
+      | _ -> fail "replay: MIN_PACKETS must be a non-negative integer")
   | [| _; "journal"; dir |] -> check_journal dir None None
   | [| _; "journal"; dir; manifest |] -> check_journal dir (Some manifest) None
   | [| _; "journal"; dir; manifest; ew; er |] ->
@@ -717,6 +791,7 @@ let () =
         \       check_telemetry profile FILE.json [COLLAPSED]\n\
         \       check_telemetry pool FILE.json [MIN_TASKS]\n\
         \       check_telemetry pool-eq A.json B.json\n\
+        \       check_telemetry replay FILE.json [MIN_PACKETS]\n\
         \       check_telemetry journal DIR [MANIFEST [WRITTEN REUSED]]\n\
         \       check_telemetry journal-eq DIR_A DIR_B\n\
         \       check_telemetry lab REPORT.json [MIN_REGRESSIONS \
